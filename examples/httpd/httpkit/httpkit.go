@@ -1,0 +1,140 @@
+// Package httpkit is a deliberately small HTTP/1.1-flavoured codec for the
+// simulated socket API: enough of the protocol (request line, headers,
+// Content-Length framing, keep-alive) to drive the Figure 11 experiment
+// without dragging net/http's real-socket assumptions into the simulation.
+package httpkit
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strconv"
+
+	sd "socksdirect"
+)
+
+// Request is a parsed request line.
+type Request struct {
+	Method string
+	Path   string
+}
+
+// ErrMalformed reports framing errors.
+var ErrMalformed = errors.New("httpkit: malformed message")
+
+// Forward writes a request over the connection.
+func Forward(c *sd.Conn, r Request) error {
+	_, err := c.Send([]byte(fmt.Sprintf("%s %s HTTP/1.1\r\nHost: sim\r\n\r\n", r.Method, r.Path)))
+	return err
+}
+
+// WriteResponse writes a response with a Content-Length body.
+func WriteResponse(c *sd.Conn, status int, body string) error {
+	_, err := c.Send([]byte(fmt.Sprintf(
+		"HTTP/1.1 %d OK\r\nContent-Length: %d\r\n\r\n%s", status, len(body), body)))
+	return err
+}
+
+// lineReader accumulates stream bytes per connection. The simulation keeps
+// one header block per Recv in practice, but the reader tolerates
+// arbitrary fragmentation.
+type lineReader struct {
+	buf []byte
+}
+
+var readers = map[*sd.Conn]*lineReader{}
+
+func readerFor(c *sd.Conn) *lineReader {
+	r, ok := readers[c]
+	if !ok {
+		r = &lineReader{}
+		readers[c] = r
+	}
+	return r
+}
+
+func (r *lineReader) fill(c *sd.Conn) error {
+	chunk := make([]byte, 4096)
+	n, err := c.Recv(chunk)
+	if n > 0 {
+		r.buf = append(r.buf, chunk[:n]...)
+	}
+	return err
+}
+
+// readUntilBlankLine returns the header block including the trailing CRLFCRLF.
+func (r *lineReader) readBlock(c *sd.Conn) ([]byte, error) {
+	for {
+		if i := bytes.Index(r.buf, []byte("\r\n\r\n")); i >= 0 {
+			block := r.buf[:i+4]
+			r.buf = append([]byte(nil), r.buf[i+4:]...)
+			return block, nil
+		}
+		if err := r.fill(c); err != nil {
+			return nil, err
+		}
+	}
+}
+
+func (r *lineReader) readN(c *sd.Conn, n int) ([]byte, error) {
+	for len(r.buf) < n {
+		if err := r.fill(c); err != nil {
+			return nil, err
+		}
+	}
+	out := r.buf[:n]
+	r.buf = append([]byte(nil), r.buf[n:]...)
+	return out, nil
+}
+
+// ReadRequest parses one request (requests carry no body here).
+func ReadRequest(c *sd.Conn) (Request, error) {
+	block, err := readerFor(c).readBlock(c)
+	if err != nil {
+		return Request{}, err
+	}
+	line, _, ok := bytes.Cut(block, []byte("\r\n"))
+	if !ok {
+		return Request{}, ErrMalformed
+	}
+	parts := bytes.SplitN(line, []byte(" "), 3)
+	if len(parts) < 2 {
+		return Request{}, ErrMalformed
+	}
+	return Request{Method: string(parts[0]), Path: string(parts[1])}, nil
+}
+
+// ReadResponse parses a response with Content-Length framing.
+func ReadResponse(c *sd.Conn) (status int, body string, err error) {
+	r := readerFor(c)
+	block, err := r.readBlock(c)
+	if err != nil {
+		return 0, "", err
+	}
+	lines := bytes.Split(block, []byte("\r\n"))
+	if len(lines) == 0 {
+		return 0, "", ErrMalformed
+	}
+	first := bytes.SplitN(lines[0], []byte(" "), 3)
+	if len(first) < 2 {
+		return 0, "", ErrMalformed
+	}
+	status, err = strconv.Atoi(string(first[1]))
+	if err != nil {
+		return 0, "", ErrMalformed
+	}
+	clen := 0
+	for _, ln := range lines[1:] {
+		if v, ok := bytes.CutPrefix(ln, []byte("Content-Length: ")); ok {
+			clen, err = strconv.Atoi(string(v))
+			if err != nil {
+				return 0, "", ErrMalformed
+			}
+		}
+	}
+	b, err := r.readN(c, clen)
+	if err != nil {
+		return 0, "", err
+	}
+	return status, string(b), nil
+}

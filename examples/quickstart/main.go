@@ -1,0 +1,77 @@
+// Command quickstart is the smallest end-to-end SocksDirect session: one
+// simulated host, a server process and a client process, connected over
+// the intra-host shared-memory data plane with the monitor handling the
+// control plane. Run it with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	sd "socksdirect"
+)
+
+func main() {
+	cl := sd.NewCluster(sd.Defaults())
+	alpha := cl.AddHost("alpha")
+
+	server := alpha.NewProcess("echo-server", 0)
+	client := alpha.NewProcess("client", 1000)
+
+	server.Go("main", func(t *sd.T) {
+		ln, err := t.Listen(7777)
+		if err != nil {
+			fmt.Println("listen:", err)
+			return
+		}
+		fmt.Println("[server] listening on :7777")
+		conn, err := ln.Accept()
+		if err != nil {
+			fmt.Println("accept:", err)
+			return
+		}
+		buf := make([]byte, 128)
+		for {
+			n, err := conn.Recv(buf)
+			if err != nil {
+				fmt.Println("[server] connection closed:", err)
+				return
+			}
+			fmt.Printf("[server] got %q, echoing\n", buf[:n])
+			conn.Send(buf[:n])
+		}
+	})
+
+	client.Go("main", func(t *sd.T) {
+		t.Sleep(10 * sd.Microsecond) // let the server bind first
+		conn, err := t.Dial("alpha", 7777)
+		if err != nil {
+			fmt.Println("dial:", err)
+			return
+		}
+		fmt.Println("[client] connected over", transport(conn))
+		buf := make([]byte, 128)
+		for _, msg := range []string{"hello", "socksdirect", "bye"} {
+			start := t.Now()
+			conn.Send([]byte(msg))
+			n, err := conn.Recv(buf)
+			if err != nil {
+				fmt.Println("recv:", err)
+				return
+			}
+			fmt.Printf("[client] echo %q in %d ns (virtual)\n", buf[:n], t.Now()-start)
+		}
+		conn.Close()
+	})
+
+	final := cl.Run()
+	fmt.Printf("simulation finished at t=%d ns\n", final)
+}
+
+func transport(c *sd.Conn) string {
+	if c.Fallback() {
+		return "kernel TCP (fallback)"
+	}
+	return "user-space queues"
+}

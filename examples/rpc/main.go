@@ -1,0 +1,150 @@
+// Command rpc reproduces the RPC measurement of §5.3.3: a small
+// length-prefixed request/response RPC library layered on the socket API,
+// measured for 1 KiB echo calls both intra-host and inter-host. The paper
+// halves RPClib's round-trip time; the mechanism is identical here —
+// kernel-free queues under an unmodified RPC layer.
+//
+//	go run ./examples/rpc
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	sd "socksdirect"
+)
+
+// --- a minimal RPC library over the socket API ---
+
+// Server dispatches named methods.
+type Server struct {
+	methods map[string]func([]byte) []byte
+}
+
+// NewServer creates an empty dispatcher.
+func NewServer() *Server { return &Server{methods: map[string]func([]byte) []byte{}} }
+
+// Handle registers a method.
+func (s *Server) Handle(name string, fn func([]byte) []byte) { s.methods[name] = fn }
+
+// Serve processes calls on one connection until it closes.
+func (s *Server) Serve(c *sd.Conn) {
+	for {
+		name, arg, err := readFrame(c)
+		if err != nil {
+			return
+		}
+		fn, ok := s.methods[name]
+		var reply []byte
+		if ok {
+			reply = fn(arg)
+		}
+		if err := writeFrame(c, "", reply); err != nil {
+			return
+		}
+	}
+}
+
+// Client issues calls over one connection.
+type Client struct{ c *sd.Conn }
+
+// Call invokes a remote method and waits for the reply.
+func (cl *Client) Call(method string, arg []byte) ([]byte, error) {
+	if err := writeFrame(cl.c, method, arg); err != nil {
+		return nil, err
+	}
+	_, reply, err := readFrame(cl.c)
+	return reply, err
+}
+
+// Frame: [u16 nameLen][u32 argLen][name][arg]
+func writeFrame(c *sd.Conn, name string, arg []byte) error {
+	hdr := make([]byte, 6+len(name))
+	binary.LittleEndian.PutUint16(hdr, uint16(len(name)))
+	binary.LittleEndian.PutUint32(hdr[2:], uint32(len(arg)))
+	copy(hdr[6:], name)
+	if _, err := c.Send(append(hdr, arg...)); err != nil {
+		return err
+	}
+	return nil
+}
+
+func readFrame(c *sd.Conn) (string, []byte, error) {
+	hdr := make([]byte, 6)
+	if _, err := c.RecvFull(hdr); err != nil {
+		return "", nil, err
+	}
+	nameLen := int(binary.LittleEndian.Uint16(hdr))
+	argLen := int(binary.LittleEndian.Uint32(hdr[2:]))
+	rest := make([]byte, nameLen+argLen)
+	if _, err := c.RecvFull(rest); err != nil {
+		return "", nil, err
+	}
+	return string(rest[:nameLen]), rest[nameLen:], nil
+}
+
+// --- the experiment ---
+
+func main() {
+	cl := sd.NewCluster(sd.Defaults())
+	a := cl.AddHost("alpha")
+	b := cl.AddHost("beta")
+	sd.PeerMonitors(a, b)
+
+	runServer := func(h *sd.Host, port uint16) {
+		p := h.NewProcess("rpc-server", 0)
+		p.Go("main", func(t *sd.T) {
+			srv := NewServer()
+			srv.Handle("echo", func(arg []byte) []byte { return arg })
+			ln, err := t.Listen(port)
+			if err != nil {
+				fmt.Println("listen:", err)
+				return
+			}
+			for {
+				c, err := ln.Accept()
+				if err != nil {
+					return
+				}
+				srv.Serve(c)
+			}
+		})
+	}
+	runServer(a, 5500) // intra-host target
+	runServer(b, 5500) // inter-host target
+
+	client := a.NewProcess("rpc-client", 0)
+	client.Go("main", func(t *sd.T) {
+		t.Sleep(50 * sd.Microsecond)
+		arg := make([]byte, 1024)
+		for i := range arg {
+			arg[i] = byte(i)
+		}
+		bench := func(hostName string) float64 {
+			conn, err := t.Dial(hostName, 5500)
+			if err != nil {
+				fmt.Println("dial:", err)
+				return 0
+			}
+			rc := &Client{c: conn}
+			const rounds = 200
+			// warm up
+			rc.Call("echo", arg)
+			start := t.Now()
+			for i := 0; i < rounds; i++ {
+				reply, err := rc.Call("echo", arg)
+				if err != nil || len(reply) != len(arg) {
+					fmt.Println("call failed:", err)
+					return 0
+				}
+			}
+			return float64(t.Now()-start) / rounds / 1000
+		}
+		intra := bench("alpha")
+		inter := bench("beta")
+		fmt.Printf("1 KiB echo RPC over SocksDirect: intra-host %.2f us, inter-host %.2f us\n", intra, inter)
+		fmt.Println("(paper: RPClib 45 us -> 21 us intra, 79 us -> 46 us inter; ours lacks RPClib's own overhead)")
+	})
+
+	cl.Run()
+}

@@ -1,0 +1,3 @@
+module socksdirect
+
+go 1.22

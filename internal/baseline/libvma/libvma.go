@@ -1,0 +1,178 @@
+// Package libvma reimplements the LibVMA comparator (Mellanox's
+// LD_PRELOAD user-space TCP): the TCP/IP stack runs in user space over a
+// kernel-bypass NIC, which removes kernel crossings and interrupts, but it
+// keeps a per-FD lock on every operation and serializes all sockets of a
+// process on shared NIC queue locks — the contention that collapses its
+// multi-core throughput in Figure 9. Intra-host connections fall back to
+// the kernel socket path, as the real LibVMA does (Figure 7's LibVMA
+// series tracks Linux).
+package libvma
+
+import (
+	"socksdirect/internal/exec"
+	"socksdirect/internal/host"
+	"socksdirect/internal/ksocket"
+	"socksdirect/internal/tcpstack"
+)
+
+// Stack is one process's LibVMA instance.
+type Stack struct {
+	h      *host.Host
+	tcp    *tcpstack.Stack
+	kern   *ksocket.Stack
+	txLock *host.SimLock // shared NIC TX queue lock (all sockets)
+}
+
+// New builds a LibVMA stack. kern is the host's kernel socket layer used
+// for the intra-host fallback; it may be nil if only inter-host traffic is
+// exercised.
+func New(h *host.Host, kern *ksocket.Stack) *Stack {
+	return &Stack{
+		h:    h,
+		tcp:  tcpstack.New(h, tcpstack.ModeUser, "vma"),
+		kern: kern,
+		txLock: &host.SimLock{
+			// Contended shared-queue acquisition is what tanks LibVMA
+			// beyond one thread (its throughput drops to ~1/4 with two
+			// threads, §5.2.3); the penalty models the cache-line storm.
+			ContentionPenalty: 1500,
+		},
+	}
+}
+
+// Socket is a LibVMA connection (either user-space TCP or the kernel
+// fallback for intra-host peers).
+type Socket struct {
+	s    *Stack
+	c    *tcpstack.Conn  // user-space path
+	k    *ksocket.Socket // kernel fallback path
+	lock host.SimLock    // per-FD lock
+}
+
+// Listener accepts on both the user-space stack and the kernel fallback.
+type Listener struct {
+	s  *Stack
+	lv *tcpstack.Listener
+	lk *ksocket.Listener
+}
+
+// Listen binds a port on the user stack, and on the kernel stack too when
+// available (intra-host clients arrive there).
+func (s *Stack) Listen(port uint16) (*Listener, error) {
+	lv, err := s.tcp.Listen(port)
+	if err != nil {
+		return nil, err
+	}
+	l := &Listener{s: s, lv: lv}
+	if s.kern != nil {
+		lk, err := s.kern.Listen(port)
+		if err != nil {
+			lv.Close()
+			return nil, err
+		}
+		l.lk = lk
+	}
+	return l, nil
+}
+
+// Accept polls both backlogs.
+func (l *Listener) Accept(ctx exec.Context) (*Socket, error) {
+	for {
+		if l.lv.Pending() > 0 {
+			c, err := l.lv.Accept(ctx)
+			if err != nil {
+				return nil, err
+			}
+			return &Socket{s: l.s, c: c}, nil
+		}
+		if l.lk != nil {
+			// The kernel listener has no TryAccept; peek via the
+			// underlying stack. A pending kernel connection means an
+			// intra-host client.
+			if k := l.tryKernel(ctx); k != nil {
+				return &Socket{s: l.s, k: k}, nil
+			}
+		}
+		ctx.Charge(l.s.h.Costs.RingOp)
+		ctx.Yield()
+	}
+}
+
+func (l *Listener) tryKernel(ctx exec.Context) *ksocket.Socket {
+	if l.lk.PendingHint() == 0 {
+		return nil
+	}
+	k, err := l.lk.Accept(ctx)
+	if err != nil {
+		return nil
+	}
+	return k
+}
+
+// Close stops both listeners.
+func (l *Listener) Close() {
+	l.lv.Close()
+	if l.lk != nil {
+		l.lk.Close()
+	}
+}
+
+// Dial connects; intra-host targets take the kernel fallback.
+func (s *Stack) Dial(ctx exec.Context, rhost string, port uint16) (*Socket, error) {
+	if rhost == s.h.Name {
+		if s.kern == nil {
+			return nil, tcpstack.ErrRefused
+		}
+		k, err := s.kern.Dial(ctx, rhost, port)
+		if err != nil {
+			return nil, err
+		}
+		return &Socket{s: s, k: k}, nil
+	}
+	c, err := s.tcp.Connect(ctx, rhost, port, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &Socket{s: s, c: c}, nil
+}
+
+// Send writes data: per-FD lock, then the shared NIC queue lock per packet.
+func (v *Socket) Send(ctx exec.Context, data []byte) (int, error) {
+	costs := v.s.h.Costs
+	v.lock.Acquire(ctx, costs.SpinlockOp)
+	if v.k != nil {
+		return v.k.Send(ctx, data)
+	}
+	total := 0
+	for len(data) > 0 {
+		n := len(data)
+		if n > tcpstack.MSS {
+			n = tcpstack.MSS
+		}
+		v.s.txLock.Acquire(ctx, costs.KernelLockHold)
+		m, err := v.c.Write(ctx, data[:n])
+		total += m
+		if err != nil {
+			return total, err
+		}
+		data = data[n:]
+	}
+	return total, nil
+}
+
+// Recv reads at least one byte.
+func (v *Socket) Recv(ctx exec.Context, buf []byte) (int, error) {
+	v.lock.Acquire(ctx, v.s.h.Costs.SpinlockOp)
+	if v.k != nil {
+		return v.k.Recv(ctx, buf)
+	}
+	return v.c.Read(ctx, buf)
+}
+
+// Close sends FIN.
+func (v *Socket) Close(ctx exec.Context) error {
+	if v.k != nil {
+		return v.k.Close(ctx)
+	}
+	return v.c.Close(ctx)
+}

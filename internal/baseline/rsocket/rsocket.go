@@ -1,0 +1,167 @@
+// Package rsocket reimplements the RSocket comparator (rsocket(7), the
+// socket-over-RDMA library the paper benchmarks against): socket send/recv
+// translated to two-sided RDMA SEND/RECV verbs with pre-posted receive
+// buffers, payload copies on both sides, and a per-FD lock on every
+// operation. Intra-host connections hairpin through the NIC — Table 4's
+// explanation for why RSocket's intra-host latency is 6x SocksDirect's.
+//
+// Like the real RSocket, it cannot run the paper's applications (no epoll,
+// no fork), so it only appears in the microbenchmark figures.
+package rsocket
+
+import (
+	"errors"
+
+	"socksdirect/internal/exec"
+	"socksdirect/internal/host"
+	"socksdirect/internal/rdma"
+)
+
+const (
+	rxBufSize   = 16 * 1024
+	rxBufCount  = 64
+	maxInflight = 32
+)
+
+// ErrClosed is returned after Close or peer failure.
+var ErrClosed = errors.New("rsocket: connection closed")
+
+// Conn is one endpoint of an RSocket connection.
+type Conn struct {
+	h      *host.Host
+	qp     *rdma.QP
+	sendCQ *rdma.CQ
+	recvCQ *rdma.CQ
+	lock   host.SimLock
+
+	rxBufs   map[uint64][]byte
+	nextWRID uint64
+	inflight int
+	pending  []byte // partially consumed stream data
+	closed   bool
+}
+
+func newConn(h *host.Host) *Conn {
+	return &Conn{
+		h:      h,
+		sendCQ: rdma.NewCQ(),
+		recvCQ: rdma.NewCQ(),
+		rxBufs: make(map[uint64][]byte),
+	}
+}
+
+func (c *Conn) postRxBuffers() {
+	for i := 0; i < rxBufCount; i++ {
+		c.nextWRID++
+		buf := make([]byte, rxBufSize)
+		c.rxBufs[c.nextWRID] = buf
+		c.qp.PostRecv(c.nextWRID, buf)
+	}
+}
+
+// Pair creates a connected RSocket pair between two hosts (the rdma_cm
+// exchange is done out of band, as the harness's rendezvous).
+func Pair(a, b *host.Host) (*Conn, *Conn) {
+	ca, cb := newConn(a), newConn(b)
+	pda, pdb := a.NIC.AllocPD(), b.NIC.AllocPD()
+	ca.qp = pda.CreateQP(ca.sendCQ, ca.recvCQ)
+	cb.qp = pdb.CreateQP(cb.sendCQ, cb.recvCQ)
+	if err := ca.qp.Connect(b.Name, cb.qp.QPN()); err != nil {
+		panic(err)
+	}
+	if err := cb.qp.Connect(a.Name, ca.qp.QPN()); err != nil {
+		panic(err)
+	}
+	ca.postRxBuffers()
+	cb.postRxBuffers()
+	return ca, cb
+}
+
+// PairIntra creates a connected pair within one host; traffic hairpins
+// through the NIC loopback port.
+func PairIntra(h *host.Host) (*Conn, *Conn) { return Pair(h, h) }
+
+// Send copies data into a fresh buffer and posts SEND verbs, reclaiming
+// completions when the pipeline is full.
+func (c *Conn) Send(ctx exec.Context, data []byte) (int, error) {
+	costs := c.h.Costs
+	c.lock.Acquire(ctx, costs.SpinlockOp) // per-FD lock
+	if c.closed {
+		return 0, ErrClosed
+	}
+	total := 0
+	for len(data) > 0 {
+		n := len(data)
+		if n > rxBufSize {
+			n = rxBufSize
+		}
+		// Buffer allocation + sender-side copy: the overheads SocksDirect
+		// removes with its allocation-free ring (§4.2).
+		ctx.Charge(costs.BufferMgmt)
+		buf := make([]byte, n)
+		copy(buf, data[:n])
+		ctx.Charge(costs.CopyCost(n))
+		ctx.Charge(costs.RDMAPost)
+		c.nextWRID++
+		if err := c.qp.PostSend(c.nextWRID, buf); err != nil {
+			return total, err
+		}
+		c.inflight++
+		for c.inflight >= maxInflight {
+			if _, ok := c.sendCQ.PollOne(); ok {
+				c.inflight--
+			} else {
+				ctx.Charge(costs.RDMAPost)
+				ctx.Yield()
+			}
+		}
+		data = data[n:]
+		total += n
+	}
+	return total, nil
+}
+
+// Recv blocks for at least one byte and copies it out (receive-side copy).
+func (c *Conn) Recv(ctx exec.Context, out []byte) (int, error) {
+	costs := c.h.Costs
+	c.lock.Acquire(ctx, costs.SpinlockOp)
+	if len(c.pending) > 0 {
+		n := copy(out, c.pending)
+		c.pending = c.pending[n:]
+		ctx.Charge(costs.CopyCost(n))
+		return n, nil
+	}
+	for {
+		if c.closed {
+			return 0, ErrClosed
+		}
+		if e, ok := c.recvCQ.PollOne(); ok {
+			if e.Status != rdma.WCSuccess {
+				c.closed = true
+				return 0, ErrClosed
+			}
+			buf := c.rxBufs[e.WRID]
+			delete(c.rxBufs, e.WRID)
+			n := copy(out, buf[:e.Len])
+			if n < e.Len {
+				c.pending = append(c.pending, buf[n:e.Len]...)
+			}
+			ctx.Charge(costs.CopyCost(e.Len))
+			// Recycle: allocate and re-post a receive buffer.
+			ctx.Charge(costs.BufferMgmt)
+			c.nextWRID++
+			nb := make([]byte, rxBufSize)
+			c.rxBufs[c.nextWRID] = nb
+			c.qp.PostRecv(c.nextWRID, nb)
+			return n, nil
+		}
+		ctx.Charge(costs.RDMAPost) // empty CQ poll
+		ctx.Yield()
+	}
+}
+
+// Close tears down the QP; the peer sees flush errors.
+func (c *Conn) Close() {
+	c.closed = true
+	c.qp.Close()
+}

@@ -1,0 +1,629 @@
+package core
+
+import (
+	"fmt"
+
+	"socksdirect/internal/ctlmsg"
+	"socksdirect/internal/exec"
+	"socksdirect/internal/host"
+	"socksdirect/internal/rdma"
+	"socksdirect/internal/shm"
+)
+
+// ringCap is the per-direction socket ring size.
+const ringCap = 128 * 1024
+
+// Listener is a libsd listening socket. Every listening thread has its own
+// backlog (§4.5.2: "we maintain a per-listener backlog for every thread
+// that listens on the socket").
+type Listener struct {
+	lib  *Libsd
+	port uint16
+	t    *host.Thread
+	fd   int
+}
+
+type pendingAccept struct {
+	m    ctlmsg.Msg
+	sock *Socket // RDMA connections are built eagerly at dispatch
+}
+
+// rdmaLocal is the bundle of per-host RDMA resources backing one socket
+// endpoint.
+type rdmaLocal struct {
+	side     *SideState
+	qp       *rdma.QP
+	rxMR     *rdma.MR
+	creditMR *rdma.MR
+	tailMR   *rdma.MR
+}
+
+// newRdmaLocal builds rings, MRs, a QP and the pinned zero-copy pool for
+// one inter-host socket endpoint, and registers the shared state as a SHM
+// segment (socket buffers live in SHM so fork keeps working, §4.1.2).
+func (l *Libsd) newRdmaLocal(ctx exec.Context, qid uint64) (*rdmaLocal, error) {
+	side := &SideState{
+		QID:      qid,
+		TX:       shm.NewRing(ringCap),
+		RX:       shm.NewRing(ringCap),
+		CreditIn: make([]byte, 8),
+		TailIn:   make([]byte, 8),
+	}
+	side.Refs.Store(1)
+	rl := &rdmaLocal{side: side}
+	rl.rxMR = l.pd.RegisterBytes(side.RX.Data())
+	rl.creditMR = l.pd.RegisterBytes(side.CreditIn)
+	rl.tailMR = l.pd.RegisterBytes(side.TailIn)
+	rl.qp = l.pd.CreateQP(l.sendCQ, l.recvCQ)
+	if ctx != nil {
+		ctx.Charge(l.H.Costs.RDMAQPCreate)
+	}
+	pool, err := newZCPool(ctx, l.P, l.pd)
+	if err != nil {
+		return nil, err
+	}
+	side.LocalPool = pool
+	l.H.SHM.Create(fmt.Sprintf("sock-%d", qid), side)
+	return rl, nil
+}
+
+// desc fills the control-message fields describing this endpoint for the
+// peer: our QPN, where to write data (RX ring), credits (CreditIn) and
+// zero-copy pages (pool MR).
+func (rl *rdmaLocal) desc(m *ctlmsg.Msg) {
+	m.QPN = rl.qp.QPN()
+	m.RingRKey = rl.rxMR.RKey()
+	m.CreditRKey = rl.creditMR.RKey()
+	m.Secret = rl.tailMR.RKey() // tail word (Secret is unused in data setup)
+	m.SeqA = rl.side.LocalPool.mr.RKey()
+	m.SeqB = zcPoolPages
+}
+
+// buildEP wires an rdmaEP from local resources plus the peer's descriptor
+// and connects the QP.
+func (l *Libsd) buildEP(rl *rdmaLocal, peerHost string, m *ctlmsg.Msg) (*rdmaEP, error) {
+	ep := &rdmaEP{
+		lib:        l,
+		side:       rl.side,
+		qp:         rl.qp,
+		ringRKey:   m.RingRKey,
+		creditRKey: m.CreditRKey,
+		tailRKey:   m.Secret,
+		batching:   l.batching,
+	}
+	rl.side.PoolRKey = m.SeqA
+	if rl.side.PoolRemote == 0 {
+		rl.side.PoolRemote = int(m.SeqB)
+		free := make([]int32, m.SeqB)
+		for i := range free {
+			free[i] = int32(i)
+		}
+		rl.side.PoolFree = free
+	}
+	rl.side.PeerHost = peerHost
+	rl.side.creditEP.Store(ep)
+	rl.side.RX.SetCreditHook(func(read uint64) {
+		if cep := rl.side.creditEP.Load(); cep != nil {
+			cep.creditHook(read)
+		}
+	})
+	// Register for completion dispatch BEFORE the QP can receive: a
+	// completion with no registered endpoint would be dropped, losing a
+	// tail publication permanently.
+	l.registerEP(ep)
+	if err := rl.qp.Connect(peerHost, m.QPN); err != nil {
+		return nil, err
+	}
+	return ep, nil
+}
+
+// --- listen / accept ---
+
+// ListenOn binds a port and registers the calling thread as a listener.
+// Multiple threads (and forked processes) may listen on the same port.
+func (l *Libsd) ListenOn(ctx exec.Context, t *host.Thread, port uint16) (*Listener, error) {
+	l.enter()
+	defer l.leave()
+	m := ctlmsg.Msg{Kind: ctlmsg.KListen, Port: port, PID: int64(l.P.PID), TID: int64(t.TID)}
+	l.sendCtl(ctx, &m)
+	// Wait for the bind result (the paper hides this latency when failure
+	// is impossible; we keep the round trip for clear error reporting).
+	key := backlogKey{port: port, tid: t.TID}
+	l.mu.Lock()
+	if _, ok := l.backlogs[key]; !ok {
+		l.backlogs[key] = &backlog{}
+	}
+	bl := l.backlogs[key]
+	l.mu.Unlock()
+	for bl.bindStatus.Load() == 0 {
+		l.pollCtl(ctx)
+		ctx.Yield()
+	}
+	if st := uint8(bl.bindStatus.Load()); st != 1 {
+		switch st - 1 {
+		case ctlmsg.StatusInUse:
+			return nil, ErrPortInUse
+		case ctlmsg.StatusDenied:
+			return nil, ErrDenied
+		default:
+			return nil, ErrDenied
+		}
+	}
+	lst := &Listener{lib: l, port: port, t: t}
+	lst.fd = l.installFD(&fdEntry{kind: fdListener, lst: lst})
+	return lst, nil
+}
+
+// Port returns the bound port.
+func (lst *Listener) Port() uint16 { return lst.port }
+
+// FD returns the listener's descriptor.
+func (lst *Listener) FD() int { return lst.fd }
+
+// Accept pops one dispatched connection from this thread's backlog,
+// building the data plane and sending the Fig. 6 ACK. An empty backlog
+// triggers the monitor's work-stealing path (§4.5.2).
+func (lst *Listener) Accept(ctx exec.Context) (*Socket, host.KFile, error) {
+	l := lst.lib
+	l.enter()
+	defer l.leave()
+	key := backlogKey{port: lst.port, tid: lst.t.TID}
+	l.mu.Lock()
+	bl := l.backlogs[key]
+	l.mu.Unlock()
+	hinted := false
+	empty := 0
+	for {
+		l.pollCtl(ctx)
+		l.mu.Lock()
+		if len(bl.conns) > 0 {
+			pa := bl.conns[0]
+			bl.conns = bl.conns[:copy(bl.conns, bl.conns[1:])]
+			l.mu.Unlock()
+			return l.finishAccept(ctx, lst.t, pa)
+		}
+		l.mu.Unlock()
+		if !hinted {
+			// Ask the monitor to steal from a sibling's backlog.
+			m := ctlmsg.Msg{Kind: ctlmsg.KAcceptHint, Port: lst.port, PID: int64(l.P.PID), TID: int64(lst.t.TID)}
+			l.sendCtl(ctx, &m)
+			hinted = true
+		}
+		ctx.Charge(l.H.Costs.RingOp)
+		empty++
+		if empty < emptyPollsBeforeSleep {
+			ctx.Yield()
+			continue
+		}
+		// Long idle: sleep until a dispatch wakes us. Parking happens
+		// outside the library boundary so the monitor's signal handler
+		// can drain the control queue (and thereby push the backlog +
+		// wake this queue) while we sleep.
+		l.leave()
+		bl.wq.Wait(ctx, func() bool {
+			l.pollCtl(ctx)
+			l.mu.Lock()
+			defer l.mu.Unlock()
+			return len(bl.conns) > 0
+		})
+		l.enter()
+		empty = 0
+	}
+}
+
+// Pending reports this backlog's queued connections (tests, stealing).
+func (lst *Listener) Pending() int {
+	key := backlogKey{port: lst.port, tid: lst.t.TID}
+	lst.lib.mu.Lock()
+	defer lst.lib.mu.Unlock()
+	bl := lst.lib.backlogs[key]
+	if bl == nil {
+		return 0
+	}
+	return len(bl.conns)
+}
+
+// Close unregisters the listener.
+func (lst *Listener) Close(ctx exec.Context) {
+	lst.lib.releaseFD(lst.fd)
+	m := ctlmsg.Msg{Kind: ctlmsg.KListen, Status: 1 /* remove */, Port: lst.port, PID: int64(lst.lib.P.PID), TID: int64(lst.t.TID)}
+	lst.lib.sendCtl(ctx, &m)
+}
+
+func (l *Libsd) finishAccept(ctx exec.Context, t *host.Thread, pa *pendingAccept) (*Socket, host.KFile, error) {
+	me := int64(MakeGTID(l.P.PID, t.TID))
+	switch pa.m.Transport {
+	case ctlmsg.TransportSHM:
+		seg, err := l.H.SHM.Attach(shm.Token(pa.m.ShmToken))
+		if err != nil {
+			return nil, nil, err
+		}
+		is := seg.Obj.(*IntraSock)
+		is.B.PeerPID.Store(int64(pa.m.PID)) // client pid
+		s := &Socket{lib: l, side: is.B, intra: is, sideIdx: 1}
+		s.ep = &shmEP{lib: l, side: is.B, peerSide: is.A}
+		s.side.SendHolder.Store(me)
+		s.side.RecvHolder.Store(me)
+		s.fd = l.installFD(&fdEntry{kind: fdSocket, sock: s})
+		l.trackSock(s)
+		s.sendMsg(ctx, MAck, nil, nil) // Fig. 6: server ACK finalizes setup
+		s.established = true
+		return s, nil, nil
+	case ctlmsg.TransportRDMA:
+		s := pa.sock
+		s.sideIdx = 1
+		s.side.SendHolder.Store(me)
+		s.side.RecvHolder.Store(me)
+		s.fd = l.installFD(&fdEntry{kind: fdSocket, sock: s})
+		l.trackSock(s)
+		s.sendMsg(ctx, MAck, nil, nil)
+		s.established = true
+		return s, nil, nil
+	case ctlmsg.TransportTCP:
+		kf, ok := l.P.LookupFD(int(pa.m.Aux))
+		if !ok {
+			return nil, nil, ErrBadFD
+		}
+		l.installFD(&fdEntry{kind: fdKernel, kf: kf})
+		return nil, kf, nil
+	}
+	return nil, nil, fmt.Errorf("libsd: unknown transport %d", pa.m.Transport)
+}
+
+// --- connect ---
+
+// Connect opens a connection to (dstHost, dstPort). The monitor decides
+// the transport: SHM for intra-host, RDMA for SocksDirect-capable remote
+// hosts, kernel TCP fallback otherwise (§4.5.3). It returns either a
+// user-space socket or a kernel file for the fallback path.
+func (l *Libsd) Connect(ctx exec.Context, t *host.Thread, dstHost string, dstPort uint16) (*Socket, host.KFile, error) {
+	l.enter()
+	defer l.leave()
+	l.mu.Lock()
+	l.nextConnID++
+	connID := uint64(l.P.PID)<<32 | l.nextConnID
+	pc := &pendingConn{}
+	l.pending[connID] = pc
+	l.mu.Unlock()
+
+	m := ctlmsg.Msg{
+		Kind: ctlmsg.KConnect, ConnID: connID, Port: dstPort,
+		PID: int64(l.P.PID), TID: int64(t.TID),
+	}
+	m.SetHost(dstHost)
+	if dstHost != l.H.Name {
+		// Remote target: prepare our RDMA endpoint optimistically and ship
+		// its descriptor with the SYN (the monitors splice the two ends).
+		rl, err := l.newRdmaLocal(ctx, connID)
+		if err != nil {
+			return nil, nil, err
+		}
+		pc.rl = rl
+		rl.desc(&m)
+	}
+	l.sendCtl(ctx, &m)
+
+	for pc.status.Load() == 0 {
+		l.pollCtl(ctx)
+		ctx.Charge(l.H.Costs.RingOp)
+		ctx.Yield()
+	}
+	if pc.status.Load() != 1 {
+		l.mu.Lock()
+		delete(l.pending, connID)
+		l.mu.Unlock()
+		switch pc.errCode {
+		case ctlmsg.StatusDenied:
+			return nil, nil, ErrDenied
+		case ctlmsg.StatusNoListener:
+			return nil, nil, ErrNoListener
+		default:
+			return nil, nil, ErrConnTimeout
+		}
+	}
+	if pc.kernelFD >= 0 && pc.sock == nil {
+		// TCP fallback: the monitor repaired a kernel connection into our
+		// FD table.
+		kf, ok := l.P.LookupFD(pc.kernelFD)
+		l.mu.Lock()
+		delete(l.pending, connID)
+		l.mu.Unlock()
+		if !ok {
+			return nil, nil, ErrBadFD
+		}
+		l.installFD(&fdEntry{kind: fdKernel, kf: kf})
+		return nil, kf, nil
+	}
+
+	// Fig. 6 Wait-Server: the FD becomes usable when the server's ACK
+	// lands on the new queue. A steal on the server side may replace the
+	// socket meanwhile (a fresh KConnectRes rebuilds it).
+	for {
+		l.mu.Lock()
+		s := pc.sock
+		l.mu.Unlock()
+		s.drainCtl(ctx)
+		if s.established {
+			me := int64(MakeGTID(l.P.PID, t.TID))
+			s.side.SendHolder.Store(me)
+			s.side.RecvHolder.Store(me)
+			s.fd = l.installFD(&fdEntry{kind: fdSocket, sock: s})
+			l.trackSock(s)
+			l.mu.Lock()
+			delete(l.pending, connID)
+			l.mu.Unlock()
+			return s, nil, nil
+		}
+		if !s.ep.peerAlive() {
+			return nil, nil, ErrPeerDead
+		}
+		l.pollCtl(ctx)
+		l.lib_pumpYield(ctx)
+	}
+}
+
+func (l *Libsd) lib_pumpYield(ctx exec.Context) {
+	l.pump(ctx)
+	ctx.Charge(l.H.Costs.RingOp)
+	ctx.Yield()
+}
+
+// --- control-plane dispatch ---
+
+func (l *Libsd) handleCtl(ctx exec.Context, m *ctlmsg.Msg) {
+	switch m.Kind {
+	case ctlmsg.KBindRes:
+		key := backlogKey{port: m.Port, tid: int(m.TID)}
+		l.mu.Lock()
+		bl, ok := l.backlogs[key]
+		if !ok {
+			bl = &backlog{}
+			l.backlogs[key] = bl
+		}
+		l.mu.Unlock()
+		bl.bindStatus.Store(int32(m.Status) + 1)
+
+	case ctlmsg.KConnectRes:
+		l.mu.Lock()
+		pc := l.pending[m.ConnID]
+		l.mu.Unlock()
+		if pc == nil {
+			return
+		}
+		if m.Status != ctlmsg.StatusOK {
+			pc.errCode = m.Status
+			pc.kernelFD = -1
+			pc.status.Store(2)
+			return
+		}
+		switch m.Transport {
+		case ctlmsg.TransportSHM:
+			seg, err := l.H.SHM.Attach(shm.Token(m.ShmToken))
+			if err != nil {
+				pc.errCode = ctlmsg.StatusDenied
+				pc.status.Store(2)
+				return
+			}
+			is := seg.Obj.(*IntraSock)
+			is.A.PeerPID.Store(m.PID) // server pid
+			s := &Socket{lib: l, side: is.A, intra: is, sideIdx: 0}
+			s.ep = &shmEP{lib: l, side: is.A, peerSide: is.B}
+			l.mu.Lock()
+			pc.sock = s
+			l.mu.Unlock()
+			pc.kernelFD = -1
+			pc.status.Store(1)
+		case ctlmsg.TransportRDMA:
+			ep, err := l.buildEP(pc.rl, m.HostStr(), m)
+			if err != nil {
+				pc.errCode = ctlmsg.StatusNoRoute
+				pc.status.Store(2)
+				return
+			}
+			s := &Socket{lib: l, side: pc.rl.side, ep: ep}
+			l.mu.Lock()
+			pc.sock = s
+			l.mu.Unlock()
+			pc.kernelFD = -1
+			pc.status.Store(1)
+		case ctlmsg.TransportTCP:
+			pc.kernelFD = int(m.Aux)
+			pc.status.Store(1)
+		}
+
+	case ctlmsg.KNewConn:
+		pa := &pendingAccept{m: *m}
+		if m.Transport == ctlmsg.TransportRDMA {
+			// Build the server endpoint eagerly so the monitors can relay
+			// our descriptor back to the client without waiting for
+			// accept() (§4.5.2 "the peer-to-peer queue is established ...
+			// when the SYN command is distributed into a listener's
+			// backlog").
+			rl, err := l.newRdmaLocal(ctx, m.ConnID)
+			if err != nil {
+				return
+			}
+			ep, err := l.buildEP(rl, m.HostStr(), m)
+			if err != nil {
+				return
+			}
+			pa.sock = &Socket{lib: l, side: rl.side, ep: ep}
+			var res ctlmsg.Msg
+			res.Kind = ctlmsg.KMSynAck
+			res.ConnID = m.ConnID
+			res.Transport = ctlmsg.TransportRDMA
+			res.PID = int64(l.P.PID)
+			rl.desc(&res)
+			res.SetHost(l.H.Name)
+			l.sendCtl(ctx, &res)
+		}
+		key := backlogKey{port: m.Port, tid: int(m.TID)}
+		l.mu.Lock()
+		bl, ok := l.backlogs[key]
+		if !ok {
+			bl = &backlog{}
+			l.backlogs[key] = bl
+		}
+		bl.conns = append(bl.conns, pa)
+		l.mu.Unlock()
+		bl.wq.Wake(l.H.Clk, 0)
+
+	case ctlmsg.KTokenReturn:
+		// The monitor wants a token back for a waiter.
+		l.mu.Lock()
+		set := l.socks[m.QID]
+		var any *Socket
+		for s := range set {
+			any = s
+			break
+		}
+		l.mu.Unlock()
+		if any == nil {
+			// Socket gone; tell the monitor the token is free.
+			r := ctlmsg.Msg{Kind: ctlmsg.KTokenReturn, QID: m.QID, Dir: m.Dir,
+				SrcPort: m.SrcPort, PID: int64(l.P.PID)}
+			l.sendCtl(ctx, &r)
+			return
+		}
+		_, ret := any.tokenVars(int(m.Dir))
+		ret.Store(true)
+		l.revMu.Lock()
+		l.pendingRevokes = append(l.pendingRevokes, revokeReq{qid: m.QID, dir: m.Dir, side: m.SrcPort})
+		l.hasRevokes.Store(true)
+		l.revMu.Unlock()
+		if l.inLibsd.Load() == 0 {
+			// Signal-handler path: no thread is inside libsd, so the
+			// holder cannot be mid-operation — return immediately.
+			l.processRevokes(ctx)
+		}
+
+	case ctlmsg.KTokenGrant:
+		l.mu.Lock()
+		set := l.socks[m.QID]
+		var any *Socket
+		for s := range set {
+			any = s
+			break
+		}
+		l.mu.Unlock()
+		if any == nil {
+			return
+		}
+		holder, _ := any.tokenVars(int(m.Dir))
+		holder.Store(int64(MakeGTID(int(m.PID), int(m.TID))))
+
+	case ctlmsg.KForkSecret:
+		l.mu.Lock()
+		l.forkAcks[m.Secret] = true
+		l.mu.Unlock()
+
+	case ctlmsg.KReQPPeer:
+		// A forked peer process needs a fresh QP spliced to this socket:
+		// create one more QP bound to the same rings ("the remote may see
+		// two or more QPs for one socket, but they link to the unique copy
+		// of socket metadata and buffer", §4.1.2).
+		l.mu.Lock()
+		set := l.socks[m.QID]
+		var any *Socket
+		for s := range set {
+			any = s
+			break
+		}
+		l.mu.Unlock()
+		res := ctlmsg.Msg{Kind: ctlmsg.KReQPRes, QID: m.QID, Aux: m.Aux, PID: int64(l.P.PID)}
+		res.SetHost(l.H.Name)
+		if any == nil {
+			res.Status = ctlmsg.StatusNoListener
+			l.sendCtl(ctx, &res)
+			return
+		}
+		qp := l.pd.CreateQP(l.sendCQ, l.recvCQ)
+		if ctx != nil {
+			ctx.Charge(l.H.Costs.RDMAQPCreate)
+		}
+		ep := &rdmaEP{
+			lib: l, side: any.side, qp: qp,
+			ringRKey: m.RingRKey, creditRKey: m.CreditRKey,
+			tailRKey: m.Secret,
+			batching: l.batching,
+		}
+		l.registerEP(ep) // before Connect: see buildEP
+		if err := qp.Connect(m.HostStr(), m.QPN); err != nil {
+			res.Status = ctlmsg.StatusNoRoute
+			l.sendCtl(ctx, &res)
+			return
+		}
+		// Switch every local socket on this queue to the newest QP: "using
+		// any of the QPs is equivalent" for one-sided writes, and the new
+		// one is spliced to the process that will actually be reading.
+		l.mu.Lock()
+		for s := range l.socks[m.QID] {
+			s.ep = ep
+		}
+		l.mu.Unlock()
+		any.side.creditEP.Store(ep)
+		// Our own rkeys are unchanged (rings were already registered).
+		res.RingRKey = 0 // child keeps the rkeys it inherited
+		res.QPN = qp.QPN()
+		l.sendCtl(ctx, &res)
+
+	case ctlmsg.KReQPRes:
+		l.mu.Lock()
+		for i := range l.reqp {
+			if l.reqp[i].qid == m.QID && !l.reqp[i].done {
+				l.reqp[i].done = true
+				l.reqp[i].peerQPN = m.QPN
+				l.reqp[i].ringRKey = m.RingRKey
+				l.reqp[i].creditRKey = m.CreditRKey
+				l.reqp[i].peerHost = m.HostStr()
+				break
+			}
+		}
+		l.mu.Unlock()
+
+	case ctlmsg.KStealReq:
+		// Surrender one not-yet-accepted connection for re-dispatch.
+		key := backlogKey{port: m.Port, tid: int(m.TID)}
+		l.mu.Lock()
+		bl := l.backlogs[key]
+		var pa *pendingAccept
+		if bl != nil && len(bl.conns) > 0 {
+			pa = bl.conns[len(bl.conns)-1] // steal from the tail (freshest)
+			bl.conns = bl.conns[:len(bl.conns)-1]
+		}
+		l.mu.Unlock()
+		res := ctlmsg.Msg{Kind: ctlmsg.KStealRes, Port: m.Port, PID: int64(l.P.PID), Aux: m.Aux}
+		if pa == nil {
+			res.Status = ctlmsg.StatusNoListener
+		} else {
+			if pa.sock != nil {
+				// Tear down the eagerly built server end; the thief will
+				// re-establish a fresh queue (Fig. 6 Wait-Server note).
+				pa.sock.teardownRdma()
+			}
+			stolen := pa.m
+			res.ConnID = stolen.ConnID
+			res.Transport = stolen.Transport
+			res.ShmToken = stolen.ShmToken
+			res.Port = stolen.Port
+			res.QPN = stolen.QPN
+			res.RingRKey = stolen.RingRKey
+			res.CreditRKey = stolen.CreditRKey
+			res.SeqA = stolen.SeqA
+			res.SeqB = stolen.SeqB
+			res.Host = stolen.Host
+			res.SrcPort = stolen.SrcPort
+			res.TID = stolen.TID // original pid hint unused
+			res.Aux = stolen.Aux
+		}
+		l.sendCtl(ctx, &res)
+	}
+}
+
+// teardownRdma destroys a server-side endpoint built for a stolen
+// connection.
+func (s *Socket) teardownRdma() {
+	if ep, ok := s.ep.(*rdmaEP); ok {
+		ep.qp.Close()
+	}
+}

@@ -1,0 +1,69 @@
+package core_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"socksdirect/internal/core"
+	"socksdirect/internal/costmodel"
+	"socksdirect/internal/exec"
+	"socksdirect/internal/host"
+	"socksdirect/internal/ksocket"
+	"socksdirect/internal/mem"
+	"socksdirect/internal/monitor"
+)
+
+func TestDebugZCInter(t *testing.T) {
+	s := exec.NewSim(exec.SimConfig{MaxVirtualTime: 100_000_000})
+	costs := costmodel.Default
+	a := host.New("hostA", s, &costs, 1)
+	b := host.New("hostB", s, &costs, 2)
+	host.Connect(a, b, host.LinkConfig(&costs, 7))
+	ka, kb := ksocket.New(a), ksocket.New(b)
+	ma, mb := monitor.Start(a, ka), monitor.Start(b, kb)
+	monitor.Peer(ma, mb)
+	sp := b.NewProcess("server", 0)
+	sl, _ := core.Init(sp)
+	cp := a.NewProcess("client", 0)
+	clib, _ := core.Init(cp)
+	const n = 64 * 1024
+	payload := bytes.Repeat([]byte{7}, n)
+	sp.Spawn("srv", func(ctx exec.Context, th *host.Thread) {
+		lst, _ := sl.ListenOn(ctx, th, 7801)
+		sock, _, err := lst.Accept(ctx)
+		fmt.Println("accepted", err, ctx.Now())
+		if err != nil {
+			return
+		}
+		dst := sp.AS.Alloc(n)
+		rec := 0
+		for rec < n {
+			m, err := sock.RecvVA(ctx, th, dst+mem.VAddr(rec), n-rec)
+			fmt.Println("recvVA", m, err, ctx.Now())
+			if err != nil {
+				return
+			}
+			rec += m
+		}
+		fmt.Println("server done")
+	})
+	cp.Spawn("cli", func(ctx exec.Context, th *host.Thread) {
+		ctx.Sleep(10_000)
+		sock, _, err := clib.Connect(ctx, th, "hostB", 7801)
+		fmt.Println("connected", err, ctx.Now())
+		if err != nil {
+			return
+		}
+		src := cp.AS.Alloc(n)
+		cp.AS.Write(ctx, src, payload)
+		m, err := sock.SendVA(ctx, th, src, n)
+		fmt.Println("sentVA", m, err, ctx.Now())
+	})
+	defer func() {
+		if r := recover(); r != nil {
+			fmt.Println("PANIC:", r)
+		}
+	}()
+	fmt.Println("end", s.Run())
+}

@@ -1,0 +1,206 @@
+package core
+
+import (
+	"encoding/binary"
+	"sync/atomic"
+
+	"socksdirect/internal/ctlmsg"
+	"socksdirect/internal/exec"
+	"socksdirect/internal/rdma"
+	"socksdirect/internal/shm"
+)
+
+// endpoint is a socket's data plane: the SHM flavor shares one ring pair
+// through cache coherence; the RDMA flavor keeps local ring copies and
+// mirrors them with one-sided writes (§4.2).
+type endpoint interface {
+	// trySend enqueues one message (gather of a+b); false = ring full.
+	trySend(ctx exec.Context, typ uint8, a, b []byte) bool
+	// tryRecv dequeues one message; the view is valid until the next call.
+	tryRecv(ctx exec.Context) (shm.Msg, bool)
+	canRecv() bool
+	// kick performs post-send work: waking a sleeping receiver (SHM) or
+	// nothing (RDMA batching is handled inside trySend).
+	kick(ctx exec.Context)
+	// peerAlive reports whether the remote side can still make progress.
+	peerAlive() bool
+}
+
+// --- intra-host: shared memory, cache-coherent, zero software between the
+// two rings ---
+
+type shmEP struct {
+	lib      *Libsd
+	side     *SideState
+	peerSide *SideState
+}
+
+func (e *shmEP) trySend(ctx exec.Context, typ uint8, a, b []byte) bool {
+	ctx.Charge(e.lib.H.Costs.RingOp)
+	return e.side.TX.TrySendV(typ, 0, a, b)
+}
+
+func (e *shmEP) tryRecv(ctx exec.Context) (shm.Msg, bool) {
+	ctx.Charge(e.lib.H.Costs.RingOp)
+	return e.side.RX.TryRecv()
+}
+
+func (e *shmEP) canRecv() bool { return e.side.RX.CanRecv() }
+
+func (e *shmEP) kick(ctx exec.Context) {
+	// If the receiver went into interrupt mode, route a wake through the
+	// monitor (§4.4: "When sender writes to a queue in interrupt mode, it
+	// also notifies the monitor and the monitor will signal the receiver
+	// to resume polling").
+	if sleeper := e.peerSide.RecvSleeper.Load(); sleeper != 0 {
+		g := GTID(sleeper)
+		m := ctlmsg.Msg{Kind: ctlmsg.KWake, PID: int64(g.PID()), TID: int64(g.TID())}
+		e.lib.sendCtl(ctx, &m)
+	}
+}
+
+func (e *shmEP) peerAlive() bool {
+	pid := e.side.PeerPID.Load()
+	if pid == 0 {
+		return true
+	}
+	p := e.lib.H.Process(int(pid))
+	return p != nil && !p.Dead()
+}
+
+// --- inter-host: two ring copies synchronized by RDMA write-with-imm,
+// credit return by plain RDMA write, adaptive batching bounded by an
+// in-flight counter (§4.2) ---
+
+// batchThreshold is the in-flight RDMA message cap before sends coalesce.
+const batchThreshold = 16
+
+type rdmaEP struct {
+	lib  *Libsd
+	side *SideState
+
+	qp         *rdma.QP
+	ringRKey   uint64 // peer's RX ring data
+	creditRKey uint64 // peer's CreditIn word (for our RX credits)
+	tailRKey   uint64 // peer's TailIn word (absolute RX tail)
+
+	inflight    atomic.Int32
+	batching    bool // false disables adaptive batching (SD-unopt ablation)
+	peerDeadFlg atomic.Bool
+}
+
+const (
+	wrData   = 1 // WRID tags for send-CQ dispatch
+	wrCredit = 2
+	wrZC     = 3
+	wrTail   = 4
+)
+
+func (e *rdmaEP) trySend(ctx exec.Context, typ uint8, a, b []byte) bool {
+	ctx.Charge(e.lib.H.Costs.RingOp)
+	if !e.side.TX.TrySendV(typ, 0, a, b) {
+		// Stale credits? The peer returns them by writing our CreditIn.
+		e.refreshCredit()
+		if !e.side.TX.TrySendV(typ, 0, a, b) {
+			return false
+		}
+	}
+	// Adaptive batching: send immediately while the pipeline is shallow,
+	// otherwise leave the bytes for the next completion to flush.
+	if !e.batching || int(e.inflight.Load()) < batchThreshold {
+		e.flush(ctx)
+	}
+	return true
+}
+
+func (e *rdmaEP) refreshCredit() {
+	if len(e.side.CreditIn) >= 8 {
+		e.side.TX.InjectCredit(binary.LittleEndian.Uint64(e.side.CreditIn))
+	}
+}
+
+// flush posts the unsynchronized region of the TX ring as one or two
+// one-sided writes (two when the region wraps); only the last carries the
+// immediate with the byte count, so the peer's tail advances exactly once
+// per flush.
+func (e *rdmaEP) flush(ctx exec.Context) {
+	ring := e.side.TX
+	written := ring.WriteCursor()
+	flushed := e.side.TxFlushed.Load()
+	if written == flushed {
+		return
+	}
+	delta := written - flushed
+	mask := ring.Mask()
+	capacity := uint64(len(ring.Data()))
+	start := flushed & mask
+	if ctx != nil {
+		ctx.Charge(e.lib.H.Costs.RDMAPost)
+	}
+	// The immediate of the last write carries the absolute tail (low 32
+	// bits): in-order delivery makes the completion the exact moment the
+	// bytes become observable, so the CQE is both publication and wakeup.
+	imm := uint32(written)
+	if start+delta <= capacity {
+		e.qp.PostWrite(wrData, ring.Data()[start:start+delta], e.ringRKey, int64(start), imm, true)
+	} else {
+		first := capacity - start
+		e.qp.PostWrite(wrData, ring.Data()[start:], e.ringRKey, int64(start), 0, false)
+		e.qp.PostWrite(wrData, ring.Data()[:delta-first], e.ringRKey, 0, imm, true)
+	}
+	e.side.TxFlushed.Store(written)
+	e.inflight.Add(1)
+}
+
+func (e *rdmaEP) tryRecv(ctx exec.Context) (shm.Msg, bool) {
+	e.lib.pump(ctx)
+	ctx.Charge(e.lib.H.Costs.RingOp)
+	return e.side.RX.TryRecv()
+}
+
+func (e *rdmaEP) canRecv() bool {
+	e.lib.pump(nil)
+	return e.side.RX.CanRecv()
+}
+
+func (e *rdmaEP) kick(ctx exec.Context) {}
+
+func (e *rdmaEP) peerAlive() bool { return !e.peerDeadFlg.Load() }
+
+// onRecvCQE handles an incoming write-imm completion: the immediate is
+// the absolute ring tail (low 32 bits); publishing it makes the new bytes
+// visible, and the CQ arm wakes any sleeper.
+func (e *rdmaEP) onRecvCQE(cqe rdma.CQE) {
+	if cqe.Status != rdma.WCSuccess {
+		e.peerDeadFlg.Store(true)
+		return
+	}
+	if cqe.Op == rdma.OpWriteImm {
+		e.side.RX.SetTailLow32(cqe.Imm)
+	}
+}
+
+// onSendCQE releases pipeline slots and flushes coalesced bytes.
+func (e *rdmaEP) onSendCQE(ctx exec.Context, cqe rdma.CQE) {
+	if cqe.Status != rdma.WCSuccess {
+		e.peerDeadFlg.Store(true)
+		return
+	}
+	if cqe.WRID != wrData {
+		return
+	}
+	if e.inflight.Add(-1) < 0 {
+		e.inflight.Store(0)
+	}
+	if e.batching {
+		e.flush(ctx) // ctx may be nil in completion context
+	}
+}
+
+// creditHook mirrors the receiver's credit return into the sender's
+// memory with a plain (completion-less on the remote) RDMA write.
+func (e *rdmaEP) creditHook(read uint64) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], read)
+	e.qp.PostWrite(wrCredit, buf[:], e.creditRKey, 0, 0, false)
+}

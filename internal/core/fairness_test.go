@@ -1,0 +1,66 @@
+package core_test
+
+import (
+	"testing"
+
+	"socksdirect/internal/exec"
+	"socksdirect/internal/host"
+)
+
+// TestTokenFIFOThreeWayContention has three threads contend for one send
+// token; the monitor's FIFO waiting list must let all of them finish
+// (starvation-freedom, §4.1.1).
+func TestTokenFIFOThreeWayContention(t *testing.T) {
+	w := newWorld(t)
+	sp, sl := proc(t, w.a, "server", 0)
+	cp, clib := proc(t, w.a, "client", 0)
+
+	const per = 25
+	const workers = 3
+	recvd := 0
+	sp.Spawn("srv", func(ctx exec.Context, th *host.Thread) {
+		lst, _ := sl.ListenOn(ctx, th, 7800)
+		s, _, err := lst.Accept(ctx)
+		if err != nil {
+			return
+		}
+		buf := make([]byte, 8)
+		for recvd < workers*per {
+			if _, err := s.Recv(ctx, th, buf); err != nil {
+				t.Errorf("recv: %v", err)
+				return
+			}
+			recvd++
+		}
+	})
+	cp.Spawn("cli", func(ctx exec.Context, th *host.Thread) {
+		ctx.Sleep(10_000)
+		s, _, err := clib.Connect(ctx, th, "hostA", 7800)
+		if err != nil {
+			t.Errorf("connect: %v", err)
+			return
+		}
+		done := 0
+		for wk := 0; wk < workers; wk++ {
+			cp.Spawn("worker", func(wctx exec.Context, wth *host.Thread) {
+				for i := 0; i < per; i++ {
+					if _, err := s.Send(wctx, wth, []byte("m")); err != nil {
+						t.Errorf("worker send: %v", err)
+						return
+					}
+				}
+				done++
+			})
+		}
+		for done < workers {
+			ctx.Yield() // stay cooperative so revocations are honored
+		}
+	})
+	w.sim.Run()
+	if recvd != workers*per {
+		t.Fatalf("received %d of %d", recvd, workers*per)
+	}
+	if w.ma.TokensGranted < workers-1 {
+		t.Fatalf("expected several monitor grants, got %d", w.ma.TokensGranted)
+	}
+}

@@ -1,0 +1,458 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"socksdirect/internal/ctlmsg"
+	"socksdirect/internal/exec"
+	"socksdirect/internal/host"
+	"socksdirect/internal/rdma"
+	"socksdirect/internal/shm"
+)
+
+// Errors returned by the libsd API.
+var (
+	ErrBadFD       = errors.New("libsd: bad file descriptor")
+	ErrNotSocket   = errors.New("libsd: not a socket")
+	ErrDenied      = errors.New("libsd: permission denied by monitor policy")
+	ErrNoListener  = errors.New("libsd: connection refused")
+	ErrPortInUse   = errors.New("libsd: address already in use")
+	ErrPeerDead    = errors.New("libsd: peer process failed (SIGHUP)")
+	ErrShutdown    = errors.New("libsd: socket is shut down")
+	ErrNoMonitor   = errors.New("libsd: no monitor daemon on this host")
+	ErrConnTimeout = errors.New("libsd: connection setup failed")
+)
+
+// registrar is the structural interface the monitor satisfies; keeping it
+// structural avoids an import cycle.
+type registrar interface {
+	RegisterProcess(p *host.Process) *ProcLink
+	RegisterChild(p *host.Process, secret uint64) *ProcLink
+}
+
+// fdKind discriminates FD remapping table entries (§4.5.1): libsd owns the
+// descriptor namespace and forwards non-socket FDs to the kernel.
+type fdKind uint8
+
+const (
+	fdFree fdKind = iota
+	fdSocket
+	fdKernel
+	fdListener
+)
+
+type fdEntry struct {
+	kind fdKind
+	sock *Socket
+	kf   host.KFile
+	lst  *Listener
+}
+
+// Libsd is the per-process user-space socket library.
+type Libsd struct {
+	P *host.Process
+	H *host.Host
+
+	ctlMu   sync.Mutex // guards ctl rings (control plane only)
+	ctl     shm.Side   // app side of the monitor duplex
+	wakeMon func()
+
+	mu      sync.Mutex
+	fds     map[int]*fdEntry
+	nextFD  int
+	freeFDs []int
+
+	// connection setup state
+	nextConnID uint64
+	pending    map[uint64]*pendingConn
+	backlogs   map[backlogKey]*backlog
+
+	// sockets by QID for control routing (token messages)
+	socks map[uint64]map[*Socket]struct{}
+
+	// RDMA plumbing: one shared CQ pair per process (the paper shares one
+	// CQ per thread; a per-process CQ preserves the single-poll property).
+	pd     *rdma.PD
+	sendCQ *rdma.CQ
+	recvCQ *rdma.CQ
+	eps    map[uint32]*rdmaEP // QPN -> endpoint, for CQ dispatch
+	cqPump sync.Mutex
+
+	inLibsd atomic.Int32 // signal handler guard (§4.4 challenge 2)
+
+	// pendingRevokes are token-return requests deferred because a thread
+	// was inside the library; processed on library exit ("libsd will
+	// process the event before returning control to the application").
+	revMu          sync.Mutex
+	pendingRevokes []revokeReq
+	hasRevokes     atomic.Bool
+
+	// batching toggles §4.2 adaptive batching (off = the "SD (unopt)"
+	// series in Figures 7-9).
+	batching bool
+
+	// reqp tracks in-flight post-fork QP re-establishments.
+	reqp []pendingReQP
+
+	// forkAcks records monitor-acknowledged fork secrets.
+	forkAcks map[uint64]bool
+
+	epollThreadOnce sync.Once
+	epolls          map[*Epoll]struct{}
+	epollWaiters    atomic.Int32
+	epollThread     *host.Thread
+}
+
+// SetBatching toggles adaptive batching for endpoints created afterwards.
+func (l *Libsd) SetBatching(on bool) { l.batching = on }
+
+type backlogKey struct {
+	port uint16
+	tid  int
+}
+
+type backlog struct {
+	conns      []*pendingAccept
+	bindStatus atomic.Int32 // 0 unknown, 1 ok, else ctlmsg status+1
+	wq         host.WaitQ
+}
+
+type pendingConn struct {
+	status   atomic.Int32 // 0 pending, 1 ok, 2 failed
+	errCode  uint8
+	sock     *Socket
+	rl       *rdmaLocal
+	kernelFD int
+}
+
+// Init loads libsd into a process: it registers with the host's monitor
+// over a fresh SHM queue and installs the signal handler used to interrupt
+// busy threads.
+func Init(p *host.Process) (*Libsd, error) {
+	reg, ok := p.Host.Mon.(registrar)
+	if !ok || reg == nil {
+		return nil, ErrNoMonitor
+	}
+	return initWith(p, reg.RegisterProcess(p))
+}
+
+func initWith(p *host.Process, link *ProcLink) (*Libsd, error) {
+	if link == nil {
+		return nil, ErrNoMonitor
+	}
+	l := &Libsd{
+		P:        p,
+		H:        p.Host,
+		ctl:      link.D.A(),
+		wakeMon:  link.WakeMonitor,
+		fds:      make(map[int]*fdEntry),
+		pending:  make(map[uint64]*pendingConn),
+		backlogs: make(map[backlogKey]*backlog),
+		socks:    make(map[uint64]map[*Socket]struct{}),
+		eps:      make(map[uint32]*rdmaEP),
+		sendCQ:   rdma.NewCQ(),
+		recvCQ:   rdma.NewCQ(),
+		epolls:   make(map[*Epoll]struct{}),
+		forkAcks: make(map[uint64]bool),
+		batching: true,
+	}
+	l.pd = p.Host.NIC.AllocPD()
+	l.armAutoPump()
+	p.Libsd = l
+	// The signal handler processes control messages when the monitor needs
+	// a busy process's attention (token revocation, wake requests). If the
+	// process is executing inside libsd, the flag defers work to the
+	// library exit path — here, simply to the next control poll.
+	p.RegisterHandler(host.SIGUSR1, func(host.Signal) {
+		if l.inLibsd.Load() > 0 {
+			return
+		}
+		l.pollCtl(nil)
+	})
+	return l, nil
+}
+
+type revokeReq struct {
+	qid  uint64
+	dir  uint8
+	side uint16
+}
+
+// enter/leave bracket every libsd entry point for the signal-handler flag.
+func (l *Libsd) enter() { l.inLibsd.Add(1) }
+
+func (l *Libsd) leave() {
+	if l.inLibsd.Add(-1) == 0 && l.hasRevokes.Load() {
+		l.processRevokes(nil)
+	}
+}
+
+// processRevokes hands back every token the monitor asked for whose socket
+// is not mid-operation.
+func (l *Libsd) processRevokes(ctx exec.Context) {
+	l.revMu.Lock()
+	pend := l.pendingRevokes
+	l.pendingRevokes = nil
+	l.hasRevokes.Store(false)
+	l.revMu.Unlock()
+	var requeue []revokeReq
+	for _, rv := range pend {
+		l.mu.Lock()
+		set := l.socks[rv.qid]
+		var any *Socket
+		for s := range set {
+			any = s
+			break
+		}
+		l.mu.Unlock()
+		if any == nil {
+			r := ctlmsg.Msg{Kind: ctlmsg.KTokenReturn, QID: rv.qid, Dir: rv.dir,
+				SrcPort: rv.side, PID: int64(l.P.PID)}
+			l.sendCtl(ctx, &r)
+			continue
+		}
+		if any.busyVar(int(rv.dir)).Load() > 0 {
+			// A thread is mid-operation with this token; it hands back at
+			// its own boundary (the flag stays set). Keep the request so
+			// a later pass retries if the boundary path lost the race.
+			requeue = append(requeue, rv)
+			continue
+		}
+		holder, ret := any.tokenVars(int(rv.dir))
+		if ret.CompareAndSwap(true, false) {
+			holder.Store(0)
+			r := ctlmsg.Msg{Kind: ctlmsg.KTokenReturn, QID: rv.qid, Dir: rv.dir,
+				SrcPort: any.sideIdx, PID: int64(l.P.PID)}
+			l.sendCtl(ctx, &r)
+		}
+	}
+	if len(requeue) > 0 {
+		l.revMu.Lock()
+		l.pendingRevokes = append(l.pendingRevokes, requeue...)
+		l.hasRevokes.Store(true)
+		l.revMu.Unlock()
+	}
+}
+
+// --- control plane ---
+
+// sendCtl enqueues a message on the monitor queue (blocking on a full
+// ring, which in practice never happens on the control plane).
+func (l *Libsd) sendCtl(ctx exec.Context, m *ctlmsg.Msg) {
+	var buf [ctlmsg.Size]byte
+	b := m.Marshal(buf[:])
+	l.ctlMu.Lock()
+	for !l.ctl.TX.TrySend(0, 0, b) {
+		l.ctlMu.Unlock()
+		if ctx != nil {
+			ctx.Yield()
+		}
+		l.ctlMu.Lock()
+	}
+	l.ctlMu.Unlock()
+	if l.wakeMon != nil {
+		l.wakeMon()
+	}
+}
+
+// pollCtl drains the monitor->process queue, dispatching each message. It
+// is safe from any thread (control plane is mutex-protected).
+func (l *Libsd) pollCtl(ctx exec.Context) bool {
+	progress := false
+	for {
+		l.ctlMu.Lock()
+		msg, ok := l.ctl.RX.TryRecv()
+		var m ctlmsg.Msg
+		if ok {
+			m, ok = ctlmsg.Unmarshal(msg.Payload)
+		}
+		l.ctlMu.Unlock()
+		if !ok {
+			return progress
+		}
+		progress = true
+		l.handleCtl(ctx, &m)
+	}
+}
+
+// --- FD remapping table (§4.5.1): lowest available FD, recycle pool ---
+
+func (l *Libsd) installFD(e *fdEntry) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var fd int
+	if n := len(l.freeFDs); n > 0 {
+		fd = l.freeFDs[n-1]
+		l.freeFDs = l.freeFDs[:n-1]
+	} else {
+		fd = l.nextFD
+		l.nextFD++
+	}
+	l.fds[fd] = e
+	return fd
+}
+
+func (l *Libsd) lookupFD(fd int) (*fdEntry, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	e, ok := l.fds[fd]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrBadFD, fd)
+	}
+	return e, nil
+}
+
+func (l *Libsd) releaseFD(fd int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, ok := l.fds[fd]; !ok {
+		return
+	}
+	delete(l.fds, fd)
+	l.freeFDs = append(l.freeFDs, fd)
+	for i := len(l.freeFDs) - 1; i > 0 && l.freeFDs[i] > l.freeFDs[i-1]; i-- {
+		l.freeFDs[i], l.freeFDs[i-1] = l.freeFDs[i-1], l.freeFDs[i]
+	}
+}
+
+// InstallKernelFD remaps a kernel file into the libsd FD space (open(),
+// pipes, and the TCP-fallback sockets the monitor hands over).
+func (l *Libsd) InstallKernelFD(kf host.KFile) int {
+	l.enter()
+	defer l.leave()
+	return l.installFD(&fdEntry{kind: fdKernel, kf: kf})
+}
+
+// KernelFile returns the kernel object behind a remapped FD.
+func (l *Libsd) KernelFile(fd int) (host.KFile, error) {
+	e, err := l.lookupFD(fd)
+	if err != nil {
+		return nil, err
+	}
+	if e.kind != fdKernel {
+		return nil, ErrNotSocket
+	}
+	return e.kf, nil
+}
+
+// SocketByFD resolves an FD to a user-space socket.
+func (l *Libsd) SocketByFD(fd int) (*Socket, error) {
+	e, err := l.lookupFD(fd)
+	if err != nil {
+		return nil, err
+	}
+	switch e.kind {
+	case fdSocket:
+		return e.sock, nil
+	default:
+		return nil, ErrNotSocket
+	}
+}
+
+func (l *Libsd) trackSock(s *Socket) {
+	l.mu.Lock()
+	set, ok := l.socks[s.side.QID]
+	if !ok {
+		set = make(map[*Socket]struct{})
+		l.socks[s.side.QID] = set
+	}
+	set[s] = struct{}{}
+	l.mu.Unlock()
+}
+
+func (l *Libsd) untrackSock(s *Socket) {
+	l.mu.Lock()
+	if set, ok := l.socks[s.side.QID]; ok {
+		delete(set, s)
+		if len(set) == 0 {
+			delete(l.socks, s.side.QID)
+		}
+	}
+	l.mu.Unlock()
+}
+
+// --- RDMA completion pump: one shared CQ pair serves every socket in the
+// process (§4.2 "each thread uses a shared completion queue for all RDMA
+// QPs, so it only needs to poll one queue"). ---
+
+func (l *Libsd) registerEP(ep *rdmaEP) {
+	l.mu.Lock()
+	l.eps[ep.qp.QPN()] = ep
+	l.mu.Unlock()
+}
+
+// pump drains both CQs, advancing receive rings and releasing batched
+// sends. Returns true if anything happened. No virtual time is charged
+// while the pump lock is held (a suspended lock holder would wedge the
+// discrete-event scheduler); the accumulated cost is applied afterwards.
+func (l *Libsd) pump(ctx exec.Context) bool {
+	if !l.cqPump.TryLock() {
+		return false // another thread is pumping; their progress is ours
+	}
+	progress := false
+	var charge int64
+	for {
+		e, ok := l.recvCQ.PollOne()
+		if !ok {
+			break
+		}
+		progress = true
+		charge += l.H.Costs.RDMAPost
+		l.mu.Lock()
+		ep := l.eps[e.QPN]
+		l.mu.Unlock()
+		if ep != nil {
+			ep.onRecvCQE(e)
+		}
+	}
+	for {
+		e, ok := l.sendCQ.PollOne()
+		if !ok {
+			break
+		}
+		progress = true
+		l.mu.Lock()
+		ep := l.eps[e.QPN]
+		l.mu.Unlock()
+		if ep != nil {
+			ep.onSendCQE(nil, e)
+		}
+	}
+	l.cqPump.Unlock()
+	if ctx != nil && charge > 0 {
+		ctx.Charge(charge)
+	}
+	return progress
+}
+
+// armAutoPump keeps the shared CQs self-draining: a completion that lands
+// while no application thread is polling still flushes coalesced sends and
+// publishes receive tails. Without it, a sender whose threads all block
+// (or exit) after a burst would strand its batched tail forever. The
+// re-arm path never recurses synchronously: if the pump lock is held by an
+// application thread, the retry goes through a short timer.
+func (l *Libsd) armAutoPump() {
+	var rearmS, rearmR func()
+	rearmS = func() {
+		if !l.pump(nil) && l.sendCQ.Len() > 0 {
+			l.H.Clk.After(l.H.Costs.RDMAPost, rearmS)
+			return
+		}
+		l.sendCQ.Arm(rearmS)
+	}
+	rearmR = func() {
+		if !l.pump(nil) && l.recvCQ.Len() > 0 {
+			l.H.Clk.After(l.H.Costs.RDMAPost, rearmR)
+			return
+		}
+		l.recvCQ.Arm(rearmR)
+	}
+	l.sendCQ.Arm(rearmS)
+	l.recvCQ.Arm(rearmR)
+}
+
+// GTIDOf returns the token identity for a thread.
+func (l *Libsd) GTIDOf(t *host.Thread) GTID { return MakeGTID(l.P.PID, t.TID) }

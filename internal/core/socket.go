@@ -1,0 +1,363 @@
+package core
+
+import (
+	"io"
+	"sync/atomic"
+
+	"socksdirect/internal/ctlmsg"
+	"socksdirect/internal/exec"
+	"socksdirect/internal/host"
+	"socksdirect/internal/shm"
+)
+
+// maxInline is the largest chunk sent through the ring as bytes; larger
+// VA-based transfers go zero-copy (§4.3).
+const maxInline = 8192
+
+// ZCThreshold is the minimum payload for page remapping (§4.3: "we only
+// use zero copy for send or recv with at least 16 KiB payload size").
+const ZCThreshold = 16 * 1024
+
+// emptyPollsBeforeSleep is the consecutive-empty-poll budget before a
+// receiver switches its queue to interrupt mode (§4.2, §4.4).
+const emptyPollsBeforeSleep = 4096
+
+// Socket is a connected libsd socket endpoint.
+type Socket struct {
+	lib  *Libsd
+	side *SideState
+	ep   endpoint
+	fd   int
+	// sideIdx disambiguates the two endpoints' token namespaces at the
+	// monitor (0 = connecting side, 1 = accepting side).
+	sideIdx uint16
+
+	intra *IntraSock // non-nil for intra-host sockets
+
+	// stream reassembly: bytes of a partially consumed ring message.
+	rxPending []byte
+
+	// zero-copy receive state (deferred page mappings).
+	rxZC []zcRecv
+
+	established bool // saw the MAck (Fig. 6 Wait-Server -> Established)
+}
+
+// FD returns the descriptor this socket is installed at.
+func (s *Socket) FD() int { return s.fd }
+
+// QID returns the socket queue identity (token arbitration handle).
+func (s *Socket) QID() uint64 { return s.side.QID }
+
+// --- token-based sharing (§4.1): one active sender and one active
+// receiver per queue; everyone else must take over through the monitor ---
+
+func (s *Socket) acquireToken(ctx exec.Context, t *host.Thread, dir int) error {
+	me := int64(s.lib.GTIDOf(t))
+	holder, _ := s.tokenVars(dir)
+	for {
+		h := holder.Load()
+		if h == me {
+			// Fast path: one atomic load is the whole synchronization.
+			return nil
+		}
+		if h == 0 && holder.CompareAndSwap(0, me) {
+			return nil // unowned (returned or never claimed): grab it
+		}
+		// Slow path: ask the monitor to arbitrate (§4.1.1). FIFO and
+		// starvation-free: the monitor keeps the (deduplicated) waiting
+		// list; Aux tells it whom to revoke from.
+		m := ctlmsg.Msg{
+			Kind: ctlmsg.KTakeover, QID: s.side.QID, Dir: uint8(dir),
+			SrcPort: s.sideIdx, Aux: uint64(h),
+			PID: int64(s.lib.P.PID), TID: int64(t.TID),
+		}
+		s.lib.sendCtl(ctx, &m)
+		polls := 0
+		for {
+			cur := holder.Load()
+			if cur == me {
+				return nil
+			}
+			if cur == 0 && holder.CompareAndSwap(0, me) {
+				return nil // freed while we waited
+			}
+			if !s.ep.peerAlive() {
+				return ErrPeerDead
+			}
+			// Note: no hand-back of OUR pending grant here — that would
+			// drop us from the monitor's FIFO. But revocations against
+			// idle holders (threads parked in application code) are
+			// executed on their behalf; the busy counters make it safe.
+			s.lib.pollCtl(ctx)
+			s.lib.processRevokes(ctx)
+			ctx.Charge(s.lib.H.Costs.RingOp)
+			ctx.Yield()
+			polls++
+			if polls%4096 == 0 {
+				// A grant may have been snatched by a faster claimant
+				// (freed-token CAS); re-enter the queue. The monitor
+				// deduplicates, so this is harmless when already queued.
+				m.Aux = uint64(holder.Load())
+				s.lib.sendCtl(ctx, &m)
+			}
+		}
+	}
+}
+
+func (s *Socket) tokenVars(dir int) (holderVar, retVar) {
+	if dir == DirSend {
+		return &s.side.SendHolder, &s.side.SendReturnReq
+	}
+	return &s.side.RecvHolder, &s.side.RecvReturnReq
+}
+
+func (s *Socket) busyVar(dir int) *atomic.Int32 {
+	if dir == DirSend {
+		return &s.side.BusySend
+	}
+	return &s.side.BusyRecv
+}
+
+type holderVar = interface {
+	Load() int64
+	CompareAndSwap(old, new int64) bool
+	Store(v int64)
+}
+type retVar = interface {
+	Load() bool
+	Store(v bool)
+	CompareAndSwap(old, new bool) bool
+}
+
+// maybeHandBack returns a token at an operation boundary if the monitor
+// asked for it back.
+func (s *Socket) maybeHandBack(ctx exec.Context, dir int) {
+	holder, ret := s.tokenVars(dir)
+	if !ret.Load() {
+		return
+	}
+	if !ret.CompareAndSwap(true, false) {
+		return
+	}
+	holder.Store(0)
+	m := ctlmsg.Msg{Kind: ctlmsg.KTokenReturn, QID: s.side.QID, Dir: uint8(dir),
+		SrcPort: s.sideIdx, PID: int64(s.lib.P.PID)}
+	s.lib.sendCtl(ctx, &m)
+}
+
+// --- send path ---
+
+// Send writes the whole byte slice (blocking), preserving stream
+// semantics. The buffer is reusable the moment Send returns, exactly like
+// POSIX send (§2.1.3) — small messages are copied into the ring.
+func (s *Socket) Send(ctx exec.Context, t *host.Thread, data []byte) (int, error) {
+	s.lib.enter()
+	defer s.lib.leave()
+	if err := s.acquireToken(ctx, t, DirSend); err != nil {
+		return 0, err
+	}
+	defer s.maybeHandBack(ctx, DirSend)
+	s.side.BusySend.Add(1)
+	defer s.side.BusySend.Add(-1)
+	if s.side.TxShut.Load() {
+		return 0, ErrShutdown
+	}
+	s.flushSlotReturns(ctx)
+	total := 0
+	for len(data) > 0 {
+		n := len(data)
+		if n > maxInline {
+			n = maxInline
+		}
+		if err := s.sendMsgT(ctx, t, MData, data[:n], nil); err != nil {
+			return total, err
+		}
+		ctx.Charge(s.lib.H.Costs.CopyCost(n))
+		data = data[n:]
+		total += n
+	}
+	return total, nil
+}
+
+// sendMsg blocks until one ring message is enqueued. Callers must hold the
+// send token and not block indefinitely elsewhere; sendMsgT is the variant
+// that survives token revocation while waiting on a full ring.
+func (s *Socket) sendMsg(ctx exec.Context, typ uint8, a, b []byte) error {
+	return s.sendMsgT(ctx, nil, typ, a, b)
+}
+
+func (s *Socket) sendMsgT(ctx exec.Context, t *host.Thread, typ uint8, a, b []byte) error {
+	for !s.ep.trySend(ctx, typ, a, b) {
+		if !s.ep.peerAlive() {
+			s.raiseHUP(ctx)
+			return ErrPeerDead
+		}
+		if s.side.RxShut.Load() && s.side.TxShut.Load() {
+			return ErrShutdown
+		}
+		s.lib.pump(ctx)
+		s.lib.pollCtl(ctx)
+		if t != nil {
+			// Blocked on a full ring: honor a pending token revocation and
+			// rejoin the FIFO rather than starving the waiter (§4.1.1).
+			s.maybeHandBack(ctx, DirSend)
+			if s.side.SendHolder.Load() != int64(s.lib.GTIDOf(t)) {
+				if err := s.acquireToken(ctx, t, DirSend); err != nil {
+					return err
+				}
+			}
+		}
+		ctx.Yield()
+	}
+	s.ep.kick(ctx)
+	return nil
+}
+
+// --- receive path ---
+
+// Recv reads at least one byte into buf (blocking); zero-copy descriptors
+// arriving on the byte API are materialized by copying (the VA API gets
+// the remap, RecvVA).
+func (s *Socket) Recv(ctx exec.Context, t *host.Thread, buf []byte) (int, error) {
+	s.lib.enter()
+	defer s.lib.leave()
+	if err := s.acquireToken(ctx, t, DirRecv); err != nil {
+		return 0, err
+	}
+	defer s.maybeHandBack(ctx, DirRecv)
+	s.side.BusyRecv.Add(1)
+	defer s.side.BusyRecv.Add(-1)
+	return s.recvLockedBytes(ctx, t, buf)
+}
+
+// dispatchMsg routes one ring message; done=true means n/err are final.
+func (s *Socket) dispatchMsg(ctx exec.Context, msg shm.Msg, buf []byte) (bool, int, error) {
+	switch msg.Type {
+	case MData:
+		n := copy(buf, msg.Payload)
+		if n < len(msg.Payload) {
+			// Copy the remainder out of the ring: the view dies at the
+			// next tryRecv.
+			s.rxPending = append(s.rxPending[:0], msg.Payload[n:]...)
+		}
+		ctx.Charge(s.lib.H.Costs.CopyCost(n))
+		return true, n, nil
+	case MZC:
+		s.queueZC(msg.Payload)
+	case MShut:
+		s.side.RxShut.Store(true)
+		return true, 0, io.EOF
+	case MAck:
+		s.established = true
+	case MZCRet:
+		s.handleZCReturn(msg.Payload)
+	case MPoolInit:
+		s.handlePoolInit(msg.Payload)
+	}
+	return false, 0, nil
+}
+
+// blockOnRecv waits for traffic, switching the queue into interrupt mode
+// after enough empty polls (§4.4): the thread parks; an intra-host sender
+// wakes it through the monitor, an RDMA completion wakes it through the
+// armed CQ.
+func (s *Socket) blockOnRecv(ctx exec.Context, t *host.Thread) error {
+	empty := 0
+	for {
+		if s.ep.canRecv() {
+			return nil
+		}
+		if !s.ep.peerAlive() {
+			s.raiseHUP(ctx)
+			return ErrPeerDead
+		}
+		if s.side.RxShut.Load() {
+			return nil // EOF surfaces in caller
+		}
+		s.lib.pollCtl(ctx)
+		s.maybeHandBack(ctx, DirRecv)
+		if s.side.RecvHolder.Load() != int64(s.lib.GTIDOf(t)) {
+			if err := s.acquireToken(ctx, t, DirRecv); err != nil {
+				return err
+			}
+		}
+		ctx.Charge(s.lib.H.Costs.RingOp)
+		empty++
+		if empty < emptyPollsBeforeSleep {
+			ctx.Yield()
+			continue
+		}
+		// Interrupt mode: publish the sleeper and park.
+		me := int64(s.lib.GTIDOf(t))
+		s.side.RecvSleeper.Store(me)
+		if !s.ep.canRecv() { // re-check after publishing (wake/sleep race)
+			if rep, ok := s.ep.(*rdmaEP); ok {
+				th := t.H
+				s.lib.recvCQArm(rep, th)
+			}
+			m := ctlmsg.Msg{Kind: ctlmsg.KSleepNote, QID: s.side.QID, PID: int64(s.lib.P.PID), TID: int64(t.TID)}
+			s.lib.sendCtl(ctx, &m)
+			ctx.Park()
+		}
+		s.side.RecvSleeper.Store(0)
+		empty = 0
+	}
+}
+
+// recvCQArm arms the process CQ to unpark a sleeping receiver thread.
+func (l *Libsd) recvCQArm(ep *rdmaEP, th exec.Thread) {
+	l.recvCQ.Arm(func() { th.Unpark() })
+}
+
+// raiseHUP delivers SIGHUP to the local process when the peer died
+// (§4.5.4: "If an application fails, libsd in the peers will generate
+// SIGHUP").
+func (s *Socket) raiseHUP(ctx exec.Context) {
+	s.lib.P.Signal(ctx, host.SIGHUP)
+}
+
+// --- close / shutdown (§4.5.4) ---
+
+// Shutdown closes one or both directions, pushing out an in-band MShut.
+func (s *Socket) Shutdown(ctx exec.Context, t *host.Thread, dir int) error {
+	s.lib.enter()
+	defer s.lib.leave()
+	if dir == DirSend && !s.side.TxShut.Load() {
+		if err := s.acquireToken(ctx, t, DirSend); err == nil {
+			s.sendMsg(ctx, MShut, nil, nil)
+		}
+		s.side.TxShut.Store(true)
+	}
+	if dir == DirRecv {
+		s.side.RxShut.Store(true)
+	}
+	return nil
+}
+
+// Close drops this FD's reference; the last reference shuts both
+// directions ("close is equivalent to shutdown on both send and receive
+// directions", with the refcount incremented on fork).
+func (s *Socket) Close(ctx exec.Context, t *host.Thread) error {
+	s.lib.enter()
+	s.lib.releaseFD(s.fd)
+	s.lib.untrackSock(s)
+	s.lib.leave()
+	if s.side.Refs.Add(-1) > 0 {
+		return nil
+	}
+	s.Shutdown(ctx, t, DirSend)
+	s.Shutdown(ctx, t, DirRecv)
+	return nil
+}
+
+// Readable reports whether Recv would make progress (epoll hook).
+func (s *Socket) Readable() bool {
+	return len(s.rxPending) > 0 || len(s.rxZC) > 0 || s.ep.canRecv() ||
+		s.side.RxShut.Load() || !s.ep.peerAlive()
+}
+
+// Writable reports whether the TX ring has room.
+func (s *Socket) Writable() bool {
+	return !s.side.TxShut.Load()
+}

@@ -1,0 +1,174 @@
+// Package core implements libsd, the user-space socket library that is the
+// paper's primary contribution. Each simulated process loads one Libsd
+// instance (the LD_PRELOAD shim of §3); it implements the socket API in
+// user space, keeps an FD remapping table to preserve Linux FD semantics
+// (§4.5.1), shares sockets between threads and forked processes with
+// send/receive tokens instead of locks (§4.1), moves data over per-socket
+// ring buffers synchronized by shared memory or one-sided RDMA writes
+// (§4.2), remaps pages instead of copying for large transfers (§4.3), and
+// multiplexes events from user-space queues and the kernel (§4.4). The
+// control plane — connection establishment, port allocation, token
+// arbitration, access control — is delegated to the per-host monitor
+// daemon over an exclusive shared-memory queue.
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"socksdirect/internal/shm"
+)
+
+// GTID is a host-global thread identity (pid, tid packed), the unit that
+// holds queue tokens.
+type GTID int64
+
+// MakeGTID packs a pid/tid pair.
+func MakeGTID(pid, tid int) GTID { return GTID(int64(pid)<<20 | int64(tid)) }
+
+// PID extracts the process part.
+func (g GTID) PID() int { return int(g >> 20) }
+
+// TID extracts the thread part.
+func (g GTID) TID() int { return int(g & ((1 << 20) - 1)) }
+
+// Ring message types on the data plane (in-band control shares the ring
+// with payload, so the common case needs no side channel).
+const (
+	MData     uint8 = 1 // payload bytes
+	MAck      uint8 = 2 // connection-establishment ACK (Fig. 6)
+	MShut     uint8 = 3 // sender shut its TX direction (close handshake §4.5.4)
+	MZC       uint8 = 4 // zero-copy descriptor: pages instead of bytes (§4.3)
+	MZCRet    uint8 = 5 // zero-copy page return (intra: obf ids; inter: slots)
+	MPoolInit uint8 = 6 // inter-host ZC: receiver publishes its pinned pool
+)
+
+// Direction indices for token arrays.
+const (
+	DirSend = 0
+	DirRecv = 1
+)
+
+// SideState is one endpoint's shared socket state. It lives in a SHM
+// segment so that after fork both parent and child see the same rings,
+// cursors, token holders and reference counts (§4.1.2: "We use SHM to
+// store the socket metadata and buffers, so after fork, the data is still
+// shared").
+type SideState struct {
+	QID uint64
+	// TX and RX are the rings this side sends on and receives from. For
+	// an intra-host socket they are the two directions of one shared
+	// Duplex; for an inter-host socket they are this host's local copies,
+	// synchronized by RDMA.
+	TX, RX *shm.Ring
+	// CreditIn is the 8-byte credit word the remote receiver writes with
+	// one-sided RDMA (inter-host only; MR-registered).
+	CreditIn []byte
+	// TailIn is the 8-byte absolute tail of the RX ring, written by the
+	// remote sender after each data write. Keeping it in the shared
+	// segment lets parent and child both observe arrivals regardless of
+	// which QP carried them (inter-host only; MR-registered).
+	TailIn []byte
+
+	// Token fast path (§4.1): the GTID currently holding each token.
+	// Reading your own GTID here is the entire synchronization cost of
+	// the common case.
+	SendHolder atomic.Int64
+	RecvHolder atomic.Int64
+
+	// ReturnReq is set by the control plane when the monitor wants the
+	// token back; the holder hands it over at the next operation boundary.
+	SendReturnReq atomic.Bool
+	RecvReturnReq atomic.Bool
+
+	// Busy counters: nonzero while a thread is inside an operation that
+	// uses the corresponding token. A revocation may be executed by ANY
+	// thread of the process when the counter is zero (the holder is idle
+	// in application code); otherwise the holder honors it at its own
+	// operation boundary.
+	BusySend atomic.Int32
+	BusyRecv atomic.Int32
+
+	// Sleepers: GTID of a thread that entered interrupt mode on this
+	// side's RX (the peer's sender wakes it through the monitor, §4.4).
+	RecvSleeper atomic.Int64
+
+	// PeerPID is the peer process for intra-host death detection
+	// (SIGHUP on failure, §4.5.4); zero for inter-host sockets.
+	PeerPID atomic.Int64
+
+	// Refs counts FDs referring to this side (fork/dup increment;
+	// close decrements; the side dies at zero).
+	Refs atomic.Int32
+
+	// Close handshake state.
+	TxShut atomic.Bool // we sent MShut
+	RxShut atomic.Bool // peer sent MShut
+
+	// --- RDMA-transport shared state (zero for SHM sockets). Living in
+	// the SHM segment keeps forked processes coherent: the child's fresh
+	// QP continues exactly where the parent's stopped (§4.1.2). ---
+
+	// TxFlushed is how far the TX ring has been mirrored to the peer.
+	TxFlushed atomic.Uint64
+	// creditEP posts credit-return writes for the RX ring; the current
+	// receive-token holder installs its endpoint here.
+	creditEP atomic.Pointer[rdmaEP]
+
+	// Remote zero-copy pool (sender-managed free slots, Fig. 5b). Access
+	// is serialized by the send token; the mutex guards fork hand-off.
+	PoolMu     sync.Mutex
+	PoolRKey   uint64
+	PoolFree   []int32
+	PoolRemote int // slot count advertised by the peer
+
+	// LocalPool is this side's pinned receive pool (shared across fork).
+	LocalPool *zcPool
+
+	// PendingReturns are freed pool slots awaiting a send-token holder to
+	// carry them back in band (the receive path may not write the TX ring).
+	PendingReturns []int32
+
+	// PeerHost names the remote host of an inter-host socket (forked
+	// children route QP re-establishment through it).
+	PeerHost string
+}
+
+// IntraSock is the SHM segment payload for an intra-host socket: one
+// duplex ring pair plus both endpoints' state, so either process (and all
+// their forked children) can reach everything through one capability.
+type IntraSock struct {
+	QID  uint64
+	D    *shm.Duplex
+	A, B *SideState // A = connecting side, B = accepting side
+}
+
+// NewIntraSock wires the duplex into two SideStates.
+func NewIntraSock(qid uint64, ringCap int) *IntraSock {
+	d := shm.NewDuplex(ringCap)
+	a := &SideState{QID: qid, TX: d.AtoB, RX: d.BtoA}
+	b := &SideState{QID: qid, TX: d.BtoA, RX: d.AtoB}
+	a.Refs.Store(1)
+	b.Refs.Store(1)
+	return &IntraSock{QID: qid, D: d, A: a, B: b}
+}
+
+// Peer returns the other endpoint's state (sleep/wake checks).
+func (s *IntraSock) Peer(side *SideState) *SideState {
+	if side == s.A {
+		return s.B
+	}
+	return s.A
+}
+
+// ProcLink is what the monitor hands a process at registration: the
+// exclusive control duplex (app side A, monitor side B) plus a wake hook.
+// The wake hook stands in for the real monitor's busy polling — the
+// simulated monitor parks when idle, and a control-plane sender nudges it,
+// which is observably identical to an always-polling monitor with zero
+// extra latency.
+type ProcLink struct {
+	D           *shm.Duplex
+	WakeMonitor func()
+	MonitorHost string
+}

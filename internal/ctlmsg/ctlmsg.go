@@ -1,0 +1,159 @@
+// Package ctlmsg defines the control-plane wire format spoken over the
+// SHM queues between libsd and the monitor, and over the RDMA channel
+// between monitors. Messages are fixed-size and hand-encoded: the control
+// plane crosses isolation boundaries, so nothing richer than bytes may
+// travel (the simulation enforces the same shared-nothing discipline the
+// paper's design states in §3).
+package ctlmsg
+
+import "encoding/binary"
+
+// Kind enumerates control message types.
+type Kind uint8
+
+// Control message kinds: libsd -> monitor unless noted.
+const (
+	KBind        Kind = iota + 1 // reserve a port
+	KBindRes                     // monitor -> libsd: bind result
+	KListen                      // register (port, thread) as a listener
+	KConnect                     // SYN: open a connection
+	KConnectRes                  // monitor -> libsd: queue descriptor or failure
+	KNewConn                     // monitor -> listener libsd: dispatched connection
+	KAcceptHint                  // accept on empty backlog: steal request
+	KStealReq                    // monitor -> listener libsd: give one back
+	KStealRes                    // listener libsd -> monitor: stolen conn (or none)
+	KTakeover                    // request a queue token (§4.1.1)
+	KTokenReturn                 // monitor -> holder: return the token / holder -> monitor: here it is
+	KTokenGrant                  // monitor -> waiter: you hold the token now
+	KForkSecret                  // parent libsd -> monitor before fork (§4.1.2)
+	KChildHello                  // child libsd -> monitor after fork
+	KWake                        // peer/monitor -> libsd: wake a sleeping thread
+	KSleepNote                   // libsd -> monitor: thread entering interrupt mode
+	KMSyn                        // monitor -> monitor: dispatch inter-host SYN
+	KMSynAck                     // monitor -> monitor: server queue descriptor
+	KMRefused                    // monitor -> monitor: no listener
+	KReQP                        // libsd -> monitor: re-establish a QP after fork
+	KReQPPeer                    // monitor -> peer libsd: attach an extra QP
+	KReQPRes                     // peer libsd -> monitor -> libsd: new remote QPN
+)
+
+// Transport identifies the data plane a queue descriptor refers to.
+const (
+	TransportSHM uint8 = iota + 1
+	TransportRDMA
+	TransportTCP
+)
+
+// Status codes.
+const (
+	StatusOK uint8 = iota
+	StatusDenied
+	StatusInUse
+	StatusNoListener
+	StatusNoRoute
+)
+
+// Size is the fixed encoded size of a Msg.
+const Size = 120
+
+// Msg is the one-size-fits-all control message. Kind selects which fields
+// are meaningful; unused fields are zero.
+type Msg struct {
+	Kind       Kind
+	Status     uint8
+	Transport  uint8
+	Dir        uint8 // 0 = send direction, 1 = receive direction
+	Port       uint16
+	SrcPort    uint16
+	ConnID     uint64 // connection being set up
+	QID        uint64 // socket queue id (token arbitration)
+	Secret     uint64 // fork pairing secret
+	PID        int64
+	TID        int64
+	ShmToken   uint64 // SHM segment capability
+	QPN        uint32 // our QP number
+	RemoteQPN  uint32
+	RingRKey   uint64 // remote key of the receiver ring copy
+	CreditRKey uint64 // remote key of the sender's credit word
+	SeqA       uint64 // connection repair: sndNxt
+	SeqB       uint64 // connection repair: rcvNxt
+	Aux        uint64 // kind-specific extra
+	Host       [16]byte
+}
+
+// SetHost stores a host name (truncated to 16 bytes).
+func (m *Msg) SetHost(h string) {
+	var z [16]byte
+	copy(z[:], h)
+	m.Host = z
+}
+
+// HostStr returns the stored host name.
+func (m *Msg) HostStr() string {
+	for i, b := range m.Host {
+		if b == 0 {
+			return string(m.Host[:i])
+		}
+	}
+	return string(m.Host[:])
+}
+
+// Marshal encodes into a fixed Size-byte buffer.
+func (m *Msg) Marshal(out []byte) []byte {
+	if cap(out) < Size {
+		out = make([]byte, Size)
+	}
+	out = out[:Size]
+	le := binary.LittleEndian
+	out[0] = byte(m.Kind)
+	out[1] = m.Status
+	out[2] = m.Transport
+	out[3] = m.Dir
+	le.PutUint16(out[4:], m.Port)
+	le.PutUint16(out[6:], m.SrcPort)
+	le.PutUint64(out[8:], m.ConnID)
+	le.PutUint64(out[16:], m.QID)
+	le.PutUint64(out[24:], m.Secret)
+	le.PutUint64(out[32:], uint64(m.PID))
+	le.PutUint64(out[40:], uint64(m.TID))
+	le.PutUint64(out[48:], m.ShmToken)
+	le.PutUint32(out[56:], m.QPN)
+	le.PutUint32(out[60:], m.RemoteQPN)
+	le.PutUint64(out[64:], m.RingRKey)
+	le.PutUint64(out[72:], m.CreditRKey)
+	le.PutUint64(out[80:], m.SeqA)
+	le.PutUint64(out[88:], m.SeqB)
+	le.PutUint64(out[96:], m.Aux)
+	copy(out[104:120], m.Host[:])
+	return out
+}
+
+// Unmarshal decodes from a buffer produced by Marshal.
+func Unmarshal(in []byte) (Msg, bool) {
+	if len(in) < Size {
+		return Msg{}, false
+	}
+	le := binary.LittleEndian
+	var m Msg
+	m.Kind = Kind(in[0])
+	m.Status = in[1]
+	m.Transport = in[2]
+	m.Dir = in[3]
+	m.Port = le.Uint16(in[4:])
+	m.SrcPort = le.Uint16(in[6:])
+	m.ConnID = le.Uint64(in[8:])
+	m.QID = le.Uint64(in[16:])
+	m.Secret = le.Uint64(in[24:])
+	m.PID = int64(le.Uint64(in[32:]))
+	m.TID = int64(le.Uint64(in[40:]))
+	m.ShmToken = le.Uint64(in[48:])
+	m.QPN = le.Uint32(in[56:])
+	m.RemoteQPN = le.Uint32(in[60:])
+	m.RingRKey = le.Uint64(in[64:])
+	m.CreditRKey = le.Uint64(in[72:])
+	m.SeqA = le.Uint64(in[80:])
+	m.SeqB = le.Uint64(in[88:])
+	m.Aux = le.Uint64(in[96:])
+	copy(m.Host[:], in[104:120])
+	return m, true
+}

@@ -1,0 +1,53 @@
+package ctlmsg
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMarshalRoundTrip(t *testing.T) {
+	check := func(kind, status, transport, dir uint8, port, sport uint16,
+		connID, qid, secret, tok, rk1, rk2, seqA, seqB, aux uint64,
+		pid, tid int64, qpn, rqpn uint32) bool {
+		m := Msg{
+			Kind: Kind(kind), Status: status, Transport: transport, Dir: dir,
+			Port: port, SrcPort: sport, ConnID: connID, QID: qid,
+			Secret: secret, PID: pid, TID: tid, ShmToken: tok,
+			QPN: qpn, RemoteQPN: rqpn, RingRKey: rk1, CreditRKey: rk2,
+			SeqA: seqA, SeqB: seqB, Aux: aux,
+		}
+		m.SetHost("host-xy")
+		got, ok := Unmarshal(m.Marshal(nil))
+		return ok && got == m
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHostTruncation(t *testing.T) {
+	var m Msg
+	m.SetHost("a-very-long-host-name-indeed")
+	if got := m.HostStr(); got != "a-very-long-host" {
+		t.Fatalf("got %q", got)
+	}
+	m.SetHost("short")
+	if m.HostStr() != "short" {
+		t.Fatalf("got %q", m.HostStr())
+	}
+}
+
+func TestUnmarshalShortBuffer(t *testing.T) {
+	if _, ok := Unmarshal(make([]byte, Size-1)); ok {
+		t.Fatal("short buffer accepted")
+	}
+}
+
+func TestMarshalReusesBuffer(t *testing.T) {
+	buf := make([]byte, Size)
+	m := Msg{Kind: KConnect, ConnID: 42}
+	out := m.Marshal(buf)
+	if &out[0] != &buf[0] {
+		t.Fatal("allocated despite sufficient buffer")
+	}
+}

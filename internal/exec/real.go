@@ -1,0 +1,125 @@
+package exec
+
+import (
+	"runtime"
+	"sync/atomic"
+	"time"
+)
+
+// RealConfig tunes the wall-clock context.
+type RealConfig struct {
+	// SpinCharges makes Charge busy-wait for the charged duration so
+	// that calibrated hardware costs show up in wall-clock measurements.
+	// Off by default: on a single-core host spinning starves the peer.
+	SpinCharges bool
+}
+
+// Real is the wall-clock runtime: threads are ordinary goroutines and the
+// OS scheduler decides placement. Core pinning hints are ignored.
+type Real struct {
+	cfg  RealConfig
+	base time.Time
+	live atomic.Int64
+}
+
+// NewReal creates a wall-clock runtime and returns it together with a root
+// context for the calling goroutine.
+func NewReal(cfg RealConfig) (*Real, Context) {
+	r := &Real{cfg: cfg, base: time.Now()}
+	t := &realThread{r: r, name: "root", park: make(chan struct{}, 1), doneCh: make(chan struct{})}
+	return r, realCtx{t}
+}
+
+type realThread struct {
+	r      *Real
+	name   string
+	park   chan struct{}
+	doneCh chan struct{}
+}
+
+type realCtx struct{ t *realThread }
+
+func (c realCtx) Now() int64 { return time.Since(c.t.r.base).Nanoseconds() }
+
+func (c realCtx) Charge(d int64) {
+	if d <= 0 || !c.t.r.cfg.SpinCharges {
+		return
+	}
+	spin(d)
+}
+
+func spin(d int64) {
+	deadline := time.Now().Add(time.Duration(d))
+	for time.Now().Before(deadline) {
+		runtime.Gosched()
+	}
+}
+
+func (c realCtx) Yield() { runtime.Gosched() }
+
+func (c realCtx) Sleep(d int64) {
+	if d <= 0 {
+		return
+	}
+	if d < int64(200*time.Microsecond) {
+		// OS timers cannot honor sub-hundred-microsecond sleeps; yield-spin
+		// instead so peers keep running on a single-core host.
+		spin(d)
+		return
+	}
+	time.Sleep(time.Duration(d))
+}
+
+func (c realCtx) Park() { <-c.t.park }
+
+func (c realCtx) Self() Thread { return c.t }
+
+func (c realCtx) Spawn(name string, fn func(Context)) Thread {
+	return c.t.r.spawn(name, fn)
+}
+
+func (c realCtx) SpawnOn(_ CoreID, name string, fn func(Context)) Thread {
+	return c.t.r.spawn(name, fn)
+}
+
+func (r *Real) spawn(name string, fn func(Context)) Thread {
+	t := &realThread{r: r, name: name, park: make(chan struct{}, 1), doneCh: make(chan struct{})}
+	r.live.Add(1)
+	go func() {
+		defer func() {
+			close(t.doneCh)
+			r.live.Add(-1)
+		}()
+		fn(realCtx{t})
+	}()
+	return t
+}
+
+// Spawn starts a thread from outside any context (e.g. test main).
+func (r *Real) Spawn(name string, fn func(Context)) Thread { return r.spawn(name, fn) }
+
+func (c realCtx) Join(t Thread) { <-t.done() }
+
+// Wait blocks the calling (non-simulated) goroutine until t finishes.
+func (r *Real) Wait(t Thread) { <-t.done() }
+
+func (c realCtx) After(d int64, fn func()) {
+	if d < int64(200*time.Microsecond) {
+		// Too fine for OS timers; run inline. Real-mode latency figures
+		// therefore exclude modelled wire delay (Sim mode is exact).
+		fn()
+		return
+	}
+	time.AfterFunc(time.Duration(d), fn)
+}
+
+func (t *realThread) Name() string { return t.name }
+
+func (t *realThread) Unpark() {
+	select {
+	case t.park <- struct{}{}:
+	default:
+	}
+}
+
+func (t *realThread) done() <-chan struct{} { return t.doneCh }

@@ -1,0 +1,20 @@
+package exec
+
+// Runtime is the spawn/clock surface shared by Sim and Real, so subsystems
+// can be built once and run in either mode.
+type Runtime interface {
+	Spawn(name string, fn func(Context)) Thread
+	SpawnOn(core CoreID, name string, fn func(Context)) Thread
+	Clock() Clock
+}
+
+// SpawnOn on the wall-clock runtime ignores core placement (the OS
+// scheduler owns it).
+func (r *Real) SpawnOn(_ CoreID, name string, fn func(Context)) Thread {
+	return r.spawn(name, fn)
+}
+
+var (
+	_ Runtime = (*Sim)(nil)
+	_ Runtime = (*Real)(nil)
+)

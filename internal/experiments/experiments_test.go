@@ -1,0 +1,74 @@
+package experiments
+
+import "testing"
+
+// TestLatencyShapeMatchesPaper checks the headline claims of Figures 7b/8b
+// at 8 bytes: SocksDirect intra-host sits far below Linux (paper: 35x) and
+// inter-host close to raw RDMA (paper: ~1.7 us vs 1.6 us), with the full
+// ordering SD < RSocket < LibVMA < Linux preserved.
+func TestLatencyShapeMatchesPaper(t *testing.T) {
+	const rounds = 30
+	sdIntra := PingPong(SysSD, 8, true, rounds).LatencyNs
+	lxIntra := PingPong(SysLinux, 8, true, rounds).LatencyNs
+	rsIntra := PingPong(SysRSocket, 8, true, rounds).LatencyNs
+
+	if sdIntra <= 0 || lxIntra <= 0 || rsIntra <= 0 {
+		t.Fatalf("degenerate latencies: sd=%v lx=%v rs=%v", sdIntra, lxIntra, rsIntra)
+	}
+	if lxIntra/sdIntra < 8 {
+		t.Errorf("intra-host: Linux/SD ratio %.1f, paper reports ~35x — want >= 8x", lxIntra/sdIntra)
+	}
+	if !(sdIntra < rsIntra && rsIntra < lxIntra) {
+		t.Errorf("intra ordering broken: sd=%.0f rs=%.0f lx=%.0f", sdIntra, rsIntra, lxIntra)
+	}
+
+	sdInter := PingPong(SysSD, 8, false, rounds).LatencyNs
+	rdma := PingPong(SysRDMA, 8, false, rounds).LatencyNs
+	lxInter := PingPong(SysLinux, 8, false, rounds).LatencyNs
+	if sdInter/rdma > 2.0 {
+		t.Errorf("inter-host SD %.0f ns should be close to raw RDMA %.0f ns", sdInter, rdma)
+	}
+	if lxInter/sdInter < 5 {
+		t.Errorf("inter-host: Linux/SD ratio %.1f, paper reports ~17x — want >= 5x", lxInter/sdInter)
+	}
+	t.Logf("intra 8B RTT: SD=%.0f RSocket=%.0f Linux=%.0f ns", sdIntra, rsIntra, lxIntra)
+	t.Logf("inter 8B RTT: SD=%.0f RDMA=%.0f Linux=%.0f ns", sdInter, rdma, lxInter)
+}
+
+// TestThroughputShape checks Figure 7a/8a at 8 bytes: SD >> Linux, and
+// batching (opt vs unopt) helps inter-host message rate.
+func TestThroughputShape(t *testing.T) {
+	const count = 4000
+	sdT := Stream(SysSD, 8, true, count).OpsPerSec
+	lxT := Stream(SysLinux, 8, true, count).OpsPerSec
+	if sdT == 0 || lxT == 0 {
+		t.Fatalf("degenerate throughput: sd=%v lx=%v", sdT, lxT)
+	}
+	if sdT/lxT < 5 {
+		t.Errorf("intra 8B: SD/Linux tput ratio %.1f, paper reports ~20x — want >= 5x", sdT/lxT)
+	}
+
+	sdI := Stream(SysSD, 8, false, count).OpsPerSec
+	sdU := Stream(SysSDUnopt, 8, false, count).OpsPerSec
+	if sdI <= sdU {
+		t.Errorf("batching should raise inter-host message rate: opt=%.0f unopt=%.0f", sdI, sdU)
+	}
+	t.Logf("intra 8B: SD=%.1fM op/s Linux=%.2fM op/s; inter: SD=%.1fM unopt=%.1fM",
+		sdT/1e6, lxT/1e6, sdI/1e6, sdU/1e6)
+}
+
+// TestZeroCopyCrossover checks Figure 7's large-message story: at 1 MiB the
+// zero-copy path beats the copy path (SD-unopt) clearly.
+func TestZeroCopyCrossover(t *testing.T) {
+	const count = 40
+	zc := Stream(SysSD, 1<<20, true, count).BytesPerSec
+	cp := Stream(SysSDUnopt, 1<<20, true, count).BytesPerSec
+	if zc == 0 || cp == 0 {
+		t.Fatalf("degenerate: zc=%v cp=%v", zc, cp)
+	}
+	if zc/cp < 2 {
+		t.Errorf("1MiB intra: zero copy %.1f Gbps should be >= 2x copy %.1f Gbps",
+			zc*8/1e9, cp*8/1e9)
+	}
+	t.Logf("1MiB intra: zero-copy %.1f Gbps vs copy %.1f Gbps", zc*8/1e9, cp*8/1e9)
+}

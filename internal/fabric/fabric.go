@@ -1,0 +1,133 @@
+// Package fabric simulates the physical network between hosts: full-duplex
+// point-to-point links with propagation delay, wire-rate serialization and
+// optional loss/jitter injection, plus an intra-host NIC loopback ("hairpin")
+// path. The RDMA layer (internal/rdma) runs on top of it; the kernel TCP
+// stack and the user-space TCP baselines share the same links so every
+// system under comparison sees the same wire.
+//
+// Delivery timing uses exec.Clock.After, so in Sim mode latencies are
+// exact virtual nanoseconds and in Real mode sub-microsecond delays
+// collapse to immediate delivery (documented in internal/exec).
+package fabric
+
+import (
+	"math/rand"
+	"sync"
+
+	"socksdirect/internal/exec"
+)
+
+// Config describes one direction of a link.
+type Config struct {
+	// PropDelay is the one-way fixed latency in ns: NIC pipeline + wire
+	// (+ doorbell/DMA when modelling an RDMA path).
+	PropDelay int64
+	// GbitPerSec is the serialization rate; 0 disables bandwidth limits.
+	GbitPerSec float64
+	// LossRate drops frames with this probability (transport tests).
+	LossRate float64
+	// JitterNs adds uniform random extra delay in [0, JitterNs) to model
+	// reordering-prone fabrics. Zero keeps FIFO order.
+	JitterNs int64
+	// Seed makes loss/jitter deterministic.
+	Seed int64
+	// PerFrameOverheadBytes models headers on the wire (Ethernet+IP+
+	// transport) for serialization-delay purposes.
+	PerFrameOverheadBytes int
+}
+
+// Stats counts traffic on one endpoint.
+type Stats struct {
+	TxFrames, TxBytes uint64
+	RxFrames, RxBytes uint64
+	Drops             uint64
+}
+
+// Endpoint is one side of a link (a NIC port). Handler is invoked at
+// delivery time in timer context and must not block.
+type Endpoint struct {
+	clk     exec.Clock
+	name    string
+	peer    *Endpoint
+	cfg     Config
+	handler func(frame any, wireBytes int)
+
+	mu       sync.Mutex
+	nextFree int64 // when the TX wire is next idle
+	rng      *rand.Rand
+	stats    Stats
+}
+
+// NewLink creates a full-duplex link between two new endpoints with
+// symmetric configuration.
+func NewLink(clk exec.Clock, nameA, nameB string, cfg Config) (*Endpoint, *Endpoint) {
+	a := &Endpoint{clk: clk, name: nameA, cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed ^ 0x5a5a))}
+	b := &Endpoint{clk: clk, name: nameB, cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed ^ 0xa5a5))}
+	a.peer, b.peer = b, a
+	return a, b
+}
+
+// NewLoopback creates an endpoint whose frames hairpin back to itself
+// (CPU→NIC→CPU within a host, the intra-host path of RSocket/LibVMA).
+func NewLoopback(clk exec.Clock, name string, cfg Config) *Endpoint {
+	e := &Endpoint{clk: clk, name: name, cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed ^ 0x10b))}
+	e.peer = e
+	return e
+}
+
+// SetHandler installs the receive pipeline. Must be set before traffic.
+func (e *Endpoint) SetHandler(h func(frame any, wireBytes int)) { e.handler = h }
+
+// Name returns the endpoint name.
+func (e *Endpoint) Name() string { return e.name }
+
+// Stats returns a snapshot of the endpoint's counters.
+func (e *Endpoint) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats
+}
+
+// Send transmits a frame of the given payload size toward the peer. The
+// frame value crosses as-is (the simulation does not serialize bytes); the
+// size is used for wire-time accounting. Send never blocks: a frame that
+// exceeds the wire's instantaneous capacity is queued behind it in time.
+func (e *Endpoint) Send(frame any, payloadBytes int) {
+	wire := payloadBytes + e.cfg.PerFrameOverheadBytes
+	now := e.clk.Now()
+
+	e.mu.Lock()
+	e.stats.TxFrames++
+	e.stats.TxBytes += uint64(payloadBytes)
+	if e.cfg.LossRate > 0 && e.rng.Float64() < e.cfg.LossRate {
+		e.stats.Drops++
+		e.mu.Unlock()
+		return
+	}
+	ser := int64(0)
+	if e.cfg.GbitPerSec > 0 {
+		ser = int64(float64(wire*8) / e.cfg.GbitPerSec) // bits / Gbps = ns
+	}
+	start := e.nextFree
+	if now > start {
+		start = now
+	}
+	e.nextFree = start + ser
+	deliverAt := e.nextFree + e.cfg.PropDelay
+	if e.cfg.JitterNs > 0 {
+		deliverAt += e.rng.Int63n(e.cfg.JitterNs)
+	}
+	peer := e.peer
+	e.mu.Unlock()
+
+	e.clk.After(deliverAt-now, func() {
+		peer.mu.Lock()
+		peer.stats.RxFrames++
+		peer.stats.RxBytes += uint64(payloadBytes)
+		h := peer.handler
+		peer.mu.Unlock()
+		if h != nil {
+			h(frame, wire)
+		}
+	})
+}

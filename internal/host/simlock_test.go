@@ -1,0 +1,53 @@
+package host
+
+import (
+	"testing"
+
+	"socksdirect/internal/exec"
+)
+
+// TestSimLockSerializesVirtualTime: N threads hammering one SimLock must
+// see aggregate throughput capped at 1/hold — the mechanism behind the
+// kernel's TCB-lock flattening in Figure 9.
+func TestSimLockSerializesVirtualTime(t *testing.T) {
+	run := func(threads int) int64 {
+		s := exec.NewSim(exec.SimConfig{})
+		l := &SimLock{}
+		const per = 200
+		for i := 0; i < threads; i++ {
+			s.Spawn("t", func(ctx exec.Context) {
+				for k := 0; k < per; k++ {
+					l.Acquire(ctx, 100)
+				}
+			})
+		}
+		return s.Run()
+	}
+	one := run(1)
+	four := run(4)
+	if one < 200*100 {
+		t.Fatalf("single thread finished in %d ns, cannot be under %d", one, 200*100)
+	}
+	// Four threads doing 4x the critical sections must take ~4x as long.
+	if four < 3*one {
+		t.Fatalf("4 threads took %d, want >= 3x single (%d): lock not serializing", four, one)
+	}
+}
+
+func TestSimLockContentionPenalty(t *testing.T) {
+	run := func(penalty int64) int64 {
+		s := exec.NewSim(exec.SimConfig{})
+		l := &SimLock{ContentionPenalty: penalty}
+		for i := 0; i < 2; i++ {
+			s.Spawn("t", func(ctx exec.Context) {
+				for k := 0; k < 100; k++ {
+					l.Acquire(ctx, 100)
+				}
+			})
+		}
+		return s.Run()
+	}
+	if base, pen := run(0), run(1000); pen <= base {
+		t.Fatalf("contention penalty had no effect: %d vs %d", pen, base)
+	}
+}

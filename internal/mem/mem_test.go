@@ -1,0 +1,276 @@
+package mem
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func newAS(t *testing.T) (*PhysMem, *AddressSpace, *AddressSpace) {
+	t.Helper()
+	pm := NewPhysMem(0xdeadbeef, nil)
+	return pm, NewAddressSpace(pm), NewAddressSpace(pm)
+}
+
+func TestAllocReadWrite(t *testing.T) {
+	_, as, _ := newAS(t)
+	a := as.Alloc(3 * PageSize)
+	data := make([]byte, 3*PageSize)
+	for i := range data {
+		data[i] = byte(i * 13)
+	}
+	if err := as.Write(nil, a, data); err != nil {
+		t.Fatal(err)
+	}
+	out := make([]byte, len(data))
+	if err := as.Read(a, out); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, out) {
+		t.Fatal("readback mismatch")
+	}
+	// Unaligned sub-range.
+	sub := make([]byte, 100)
+	if err := as.Read(a+PageSize-50, sub); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(sub, data[PageSize-50:PageSize+50]) {
+		t.Fatal("cross-page read mismatch")
+	}
+}
+
+func TestObfuscationRoundTripAndForgery(t *testing.T) {
+	pm, as, _ := newAS(t)
+	a := as.Alloc(PageSize)
+	ids, err := as.PagesForSend(nil, a, PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := pm.Obfuscate(ids[0])
+	back, err := pm.Deobfuscate(o)
+	if err != nil || back != ids[0] {
+		t.Fatalf("roundtrip failed: %v %v vs %v", err, back, ids[0])
+	}
+	if _, err := pm.Deobfuscate(o ^ 0x1234); err == nil {
+		t.Fatal("forged page id accepted")
+	}
+}
+
+// TestZeroCopyTransferAliasesUntilWrite exercises the full intra-host
+// zero-copy protocol of Fig. 5a: sender marks pages COW, receiver maps
+// them, both see the same bytes, and a write on either side isolates them.
+func TestZeroCopyTransferAliasesUntilWrite(t *testing.T) {
+	_, snd, rcv := newAS(t)
+	const n = 4 * PageSize
+	src := snd.Alloc(n)
+	payload := make([]byte, n)
+	rand.New(rand.NewSource(1)).Read(payload)
+	if err := snd.Write(nil, src, payload); err != nil {
+		t.Fatal(err)
+	}
+
+	ids, err := snd.PagesForSend(nil, src, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := rcv.Alloc(n)
+	if err := rcv.MapPages(nil, dst, ids); err != nil {
+		t.Fatal(err)
+	}
+
+	got := make([]byte, n)
+	if err := rcv.Read(dst, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("receiver does not see sender's bytes after remap")
+	}
+
+	// Sender overwrites one page partially: COW must protect the receiver.
+	if err := snd.Write(nil, src+10, []byte("OVERWRITE")); err != nil {
+		t.Fatal(err)
+	}
+	if err := rcv.Read(dst, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("sender overwrite leaked into receiver mapping")
+	}
+
+	// Receiver overwrite must not disturb what the sender now sees.
+	if err := rcv.Write(nil, dst+PageSize, make([]byte, PageSize)); err != nil {
+		t.Fatal(err)
+	}
+	sview := make([]byte, n)
+	if err := snd.Read(src, sview); err != nil {
+		t.Fatal(err)
+	}
+	want := append([]byte{}, payload...)
+	copy(want[10:], "OVERWRITE")
+	if !bytes.Equal(sview, want) {
+		t.Fatal("receiver write corrupted sender view")
+	}
+}
+
+func TestFullPageOverwriteSkipsCopyButIsolates(t *testing.T) {
+	_, snd, rcv := newAS(t)
+	src := snd.Alloc(PageSize)
+	orig := bytes.Repeat([]byte{0xAA}, PageSize)
+	snd.Write(nil, src, orig)
+	ids, _ := snd.PagesForSend(nil, src, PageSize)
+	dst := rcv.Alloc(PageSize)
+	rcv.MapPages(nil, dst, ids)
+
+	// Whole-page overwrite on sender: no copy needed, receiver keeps 0xAA.
+	snd.Write(nil, src, bytes.Repeat([]byte{0xBB}, PageSize))
+	got := make([]byte, PageSize)
+	rcv.Read(dst, got)
+	if !bytes.Equal(got, orig) {
+		t.Fatal("receiver lost data after sender whole-page overwrite")
+	}
+	sgot := make([]byte, PageSize)
+	snd.Read(src, sgot)
+	if sgot[0] != 0xBB {
+		t.Fatal("sender overwrite lost")
+	}
+}
+
+func TestUnmapReturnsForeignPages(t *testing.T) {
+	pm, snd, rcv := newAS(t)
+	const n = 2 * PageSize
+	src := snd.Alloc(n)
+	ids, _ := snd.PagesForSend(nil, src, n)
+	dst := rcv.Alloc(n)
+	rcv.MapPages(nil, dst, ids)
+
+	// Sender drops its own mapping (e.g. buffer freed after send).
+	if err := snd.Free(src, n); err != nil {
+		t.Fatal(err)
+	}
+	// Receiver unmaps: frames would die, but they belong to the sender's
+	// pool, so they come back as "foreign" to be returned via message.
+	foreign, err := rcv.Unmap(nil, dst, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(foreign) != 2 {
+		t.Fatalf("expected 2 foreign pages, got %d", len(foreign))
+	}
+	before := snd.PoolSize()
+	snd.AcceptReturned(foreign)
+	if snd.PoolSize() != before+2 {
+		t.Fatalf("pool did not grow: %d -> %d", before, snd.PoolSize())
+	}
+	_ = pm
+}
+
+func TestPoolRecyclesZeroed(t *testing.T) {
+	_, as, _ := newAS(t)
+	a := as.Alloc(PageSize)
+	as.Write(nil, a, bytes.Repeat([]byte{0xFF}, PageSize))
+	as.Free(a, PageSize)
+	b := as.Alloc(PageSize)
+	out := make([]byte, PageSize)
+	as.Read(b, out)
+	for _, v := range out {
+		if v != 0 {
+			t.Fatal("recycled page not zeroed")
+		}
+	}
+}
+
+func TestPinIdempotent(t *testing.T) {
+	pm, as, _ := newAS(t)
+	a := as.Alloc(2 * PageSize)
+	ids, _ := as.PagesForSend(nil, a, 2*PageSize)
+	if err := pm.Pin(nil, ids); err != nil {
+		t.Fatal(err)
+	}
+	if err := pm.Pin(nil, ids); err != nil {
+		t.Fatal(err)
+	}
+	if err := pm.Pin(nil, []PageID{99999}); err == nil {
+		t.Fatal("pinned nonexistent frame")
+	}
+}
+
+func TestErrorsOnMisuse(t *testing.T) {
+	_, as, _ := newAS(t)
+	if _, err := as.PagesForSend(nil, 3, PageSize); err != ErrNotAligned {
+		t.Fatalf("want ErrNotAligned, got %v", err)
+	}
+	if err := as.Read(0x9999000, make([]byte, 8)); err == nil {
+		t.Fatal("read of unmapped address succeeded")
+	}
+	if err := as.Write(nil, 0x9999000, []byte("x")); err == nil {
+		t.Fatal("write of unmapped address succeeded")
+	}
+	if _, err := as.Unmap(nil, 0x9999000, 1); err == nil {
+		t.Fatal("unmap of unmapped address succeeded")
+	}
+}
+
+// TestCOWPropertyQuick checks, over random transfer/overwrite interleavings,
+// the fundamental COW invariant: a receiver's view never changes due to
+// sender writes after the transfer, and vice versa.
+func TestCOWPropertyQuick(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		pm := NewPhysMem(uint64(seed)+7, nil)
+		snd, rcv := NewAddressSpace(pm), NewAddressSpace(pm)
+		npages := 1 + rng.Intn(4)
+		n := npages * PageSize
+		src := snd.Alloc(n)
+		payload := make([]byte, n)
+		rng.Read(payload)
+		snd.Write(nil, src, payload)
+		ids, err := snd.PagesForSend(nil, src, n)
+		if err != nil {
+			return false
+		}
+		dst := rcv.Alloc(n)
+		if rcv.MapPages(nil, dst, ids) != nil {
+			return false
+		}
+		// Random writes on both sides.
+		for i := 0; i < 20; i++ {
+			side := rng.Intn(2)
+			off := rng.Intn(n - 1)
+			ln := 1 + rng.Intn(n-off)
+			junk := make([]byte, ln)
+			rng.Read(junk)
+			if side == 0 {
+				snd.Write(nil, src+VAddr(off), junk)
+			} else {
+				rcv.Write(nil, dst+VAddr(off), junk)
+				copy(payload[off:], junk) // receiver's own view evolves
+			}
+		}
+		got := make([]byte, n)
+		rcv.Read(dst, got)
+		return bytes.Equal(got, payload)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNoFrameLeaks(t *testing.T) {
+	pm, snd, rcv := newAS(t)
+	base := pm.FrameCount()
+	const n = 8 * PageSize
+	src := snd.Alloc(n)
+	ids, _ := snd.PagesForSend(nil, src, n)
+	dst := rcv.Alloc(n)
+	rcv.MapPages(nil, dst, ids)
+	snd.Free(src, n)
+	foreign, _ := rcv.Unmap(nil, dst, 8)
+	snd.AcceptReturned(foreign)
+	// All frames should now be pooled or freed; pool frames are accounted.
+	live := pm.FrameCount()
+	if live > base+snd.PoolSize()+rcv.PoolSize() {
+		t.Fatalf("leak: %d live frames, pools hold %d+%d",
+			live, snd.PoolSize(), rcv.PoolSize())
+	}
+}

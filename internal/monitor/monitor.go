@@ -1,0 +1,689 @@
+// Package monitor implements the per-host trusted daemon of §3/§4.5: the
+// control plane of SocksDirect. It owns the address/port space, enforces
+// access-control policy, dispatches new connections to listener backlogs
+// (round-robin with work stealing), arbitrates queue tokens with FIFO
+// waiting lists, pairs forked children by secret, probes remote hosts for
+// SocksDirect capability with special-option TCP handshakes (falling back
+// to repaired kernel TCP connections), and relays inter-host control
+// traffic over a monitor-to-monitor RDMA channel.
+//
+// The daemon is a single thread that polls SHM queues from every local
+// process, exactly as in the paper; when everything is idle it parks, and
+// control-plane senders nudge it awake (observably identical to busy
+// polling, see core.ProcLink).
+package monitor
+
+import (
+	"fmt"
+	"sync"
+
+	"socksdirect/internal/core"
+	"socksdirect/internal/ctlmsg"
+	"socksdirect/internal/exec"
+	"socksdirect/internal/host"
+	"socksdirect/internal/ksocket"
+	"socksdirect/internal/shm"
+)
+
+// ctlRingCap sizes each process's control duplex.
+const ctlRingCap = 64 * 1024
+
+// Policy decides whether a local process owned by uid may connect to
+// (dstHost, dstPort). The default allows everything.
+type Policy func(uid int, dstHost string, dstPort uint16) bool
+
+// Monitor is the per-host control-plane daemon.
+type Monitor struct {
+	H  *host.Host
+	KS *ksocket.Stack // kernel sockets for the fallback path (may be nil)
+
+	mu         sync.Mutex
+	procs      map[int]*procChan
+	listeners  map[uint16][]listenerRef
+	rrIdx      map[uint16]int
+	kernLs     map[uint16]*ksocket.Listener
+	policy     Policy
+	secrets    map[uint64]int // fork secret -> parent pid
+	tokens     map[tokKey]*tokState
+	connOwner  map[uint64]int             // qid -> local owner pid
+	remotePend map[uint64]remotePendEntry // connID -> routing for inter-host setup
+	mchans     map[string]*mchan          // remote host -> channel
+	probes     map[string][]*ctlmsg.Msg   // host -> queued connects awaiting mchan
+	probeSeq   uint16
+	probeDone  []probeResult
+	stealSeq   uint64
+	steals     map[uint64]stealReq
+	reqpRoute  map[uint64]string // qid -> requester host for KReQPRes routing
+
+	thread  exec.Thread
+	parked  bool
+	stopped bool
+
+	// Stats for §6-style accounting.
+	ConnsDispatched int
+	TokensGranted   int
+}
+
+type procChan struct {
+	p *host.Process
+	d *shm.Duplex // monitor holds side B
+}
+
+type listenerRef struct {
+	pid int
+	tid int
+}
+
+type tokKey struct {
+	qid  uint64
+	dir  uint8
+	side uint16
+}
+
+type tokState struct {
+	waiters    []waiterRef
+	revokeSent bool
+}
+
+type waiterRef struct{ pid, tid int }
+
+type remotePendEntry struct {
+	clientHost string // server side: where to send the SYN-ACK
+	clientPID  int    // client side: whom to deliver KConnectRes
+}
+
+type stealReq struct {
+	thiefPID, thiefTID int
+	port               uint16
+}
+
+// Start creates the monitor, attaches it to the host, and spawns the
+// daemon thread. ks enables the TCP fallback and dual kernel listeners.
+func Start(h *host.Host, ks *ksocket.Stack) *Monitor {
+	m := &Monitor{
+		H:          h,
+		KS:         ks,
+		procs:      make(map[int]*procChan),
+		listeners:  make(map[uint16][]listenerRef),
+		rrIdx:      make(map[uint16]int),
+		kernLs:     make(map[uint16]*ksocket.Listener),
+		policy:     func(int, string, uint16) bool { return true },
+		secrets:    make(map[uint64]int),
+		tokens:     make(map[tokKey]*tokState),
+		connOwner:  make(map[uint64]int),
+		remotePend: make(map[uint64]remotePendEntry),
+		mchans:     make(map[string]*mchan),
+		probes:     make(map[string][]*ctlmsg.Msg),
+		steals:     make(map[uint64]stealReq),
+		reqpRoute:  make(map[uint64]string),
+		probeSeq:   9000,
+	}
+	h.Mon = m
+	if ks != nil {
+		ks.TCP().SetSynFilter(m.synFilter)
+	}
+	m.thread = h.RT.SpawnOn(h.NextCore(), h.Name+"/monitor", m.run)
+	return m
+}
+
+// SetPolicy installs the access-control policy.
+func (m *Monitor) SetPolicy(p Policy) {
+	m.mu.Lock()
+	m.policy = p
+	m.mu.Unlock()
+}
+
+// Stop terminates the daemon loop.
+func (m *Monitor) Stop() {
+	m.mu.Lock()
+	m.stopped = true
+	m.mu.Unlock()
+	m.wake()
+}
+
+func (m *Monitor) wake() {
+	if m.thread != nil {
+		m.thread.Unpark()
+	}
+}
+
+// RegisterProcess gives a process its exclusive control queue (§3: "all
+// the applications loading libsd must establish a SHM queue with the
+// host's monitor daemon").
+func (m *Monitor) RegisterProcess(p *host.Process) *core.ProcLink {
+	d := shm.NewDuplex(ctlRingCap)
+	m.mu.Lock()
+	m.procs[p.PID] = &procChan{p: p, d: d}
+	m.mu.Unlock()
+	m.wake()
+	return &core.ProcLink{D: d, WakeMonitor: m.wake, MonitorHost: m.H.Name}
+}
+
+// RegisterChild pairs a forked child using the secret its parent deposited
+// before forking (§4.1.2 "Security"). An unknown secret is rejected.
+func (m *Monitor) RegisterChild(p *host.Process, secret uint64) *core.ProcLink {
+	m.mu.Lock()
+	parent, ok := m.secrets[secret]
+	if ok {
+		delete(m.secrets, secret)
+	}
+	m.mu.Unlock()
+	if !ok || p.Parent == nil || p.Parent.PID != parent {
+		return nil
+	}
+	return m.RegisterProcess(p)
+}
+
+// run is the daemon loop.
+func (m *Monitor) run(ctx exec.Context) {
+	idle := 0
+	var buf [ctlmsg.Size]byte
+	_ = buf
+	for {
+		m.mu.Lock()
+		if m.stopped {
+			m.mu.Unlock()
+			return
+		}
+		chans := make([]*procChan, 0, len(m.procs))
+		for _, pc := range m.procs {
+			chans = append(chans, pc)
+		}
+		mchs := make([]*mchan, 0, len(m.mchans))
+		for _, mc := range m.mchans {
+			mchs = append(mchs, mc)
+		}
+		kls := make([]*ksocket.Listener, 0, len(m.kernLs))
+		klPorts := make([]uint16, 0, len(m.kernLs))
+		for port, kl := range m.kernLs {
+			kls = append(kls, kl)
+			klPorts = append(klPorts, port)
+		}
+		m.mu.Unlock()
+
+		progress := false
+		m.mu.Lock()
+		probes := m.probeDone
+		m.probeDone = nil
+		m.mu.Unlock()
+		for _, pr := range probes {
+			m.finishProbes(ctx, pr.dst, pr)
+			progress = true
+		}
+		for _, pc := range chans {
+			for i := 0; i < 64; i++ {
+				msg, ok := pc.d.B().RX.TryRecv()
+				if !ok {
+					break
+				}
+				ctx.Charge(m.H.Costs.RingOp)
+				if cm, ok2 := ctlmsg.Unmarshal(msg.Payload); ok2 {
+					m.handle(ctx, pc, &cm)
+				}
+				progress = true
+			}
+		}
+		for _, mc := range mchs {
+			for {
+				cm, ok := mc.recv()
+				if !ok {
+					break
+				}
+				ctx.Charge(m.H.Costs.RDMAPost)
+				m.handleRemote(ctx, mc, cm)
+				progress = true
+			}
+		}
+		for i, kl := range kls {
+			if kl.PendingHint() > 0 {
+				m.acceptFallback(ctx, klPorts[i], kl)
+				progress = true
+			}
+		}
+
+		if progress {
+			idle = 0
+			continue
+		}
+		idle++
+		if idle < 256 {
+			ctx.Charge(m.H.Costs.RingOp)
+			ctx.Yield()
+			continue
+		}
+		for _, mc := range mchs {
+			mc.armWake(m.wake) // fire immediately if traffic raced in
+		}
+		ctx.Park() // woken by wakeMon / mchan arrivals / notifications
+		idle = 0
+	}
+}
+
+// sendTo queues a control message to a local process and pokes it with a
+// signal if needed (the §4.4 interrupt path is the signal itself; the
+// handler drains the queue when the process is busy outside libsd).
+func (m *Monitor) sendTo(ctx exec.Context, pid int, cm *ctlmsg.Msg, signal bool) {
+	m.mu.Lock()
+	pc := m.procs[pid]
+	m.mu.Unlock()
+	if pc == nil {
+		return
+	}
+	var buf [ctlmsg.Size]byte
+	b := cm.Marshal(buf[:])
+	for !pc.d.B().TX.TrySend(0, 0, b) {
+		ctx.Yield()
+	}
+	if signal && !pc.p.Dead() {
+		pc.p.Signal(ctx, host.SIGUSR1)
+	}
+}
+
+func (m *Monitor) handle(ctx exec.Context, pc *procChan, cm *ctlmsg.Msg) {
+	switch cm.Kind {
+	case ctlmsg.KListen:
+		m.onListen(ctx, pc, cm)
+	case ctlmsg.KConnect:
+		m.onConnect(ctx, pc, cm)
+	case ctlmsg.KTakeover:
+		m.onTakeover(ctx, pc, cm)
+	case ctlmsg.KTokenReturn:
+		m.onTokenReturned(ctx, cm)
+	case ctlmsg.KForkSecret:
+		m.mu.Lock()
+		m.secrets[cm.Secret] = int(cm.PID)
+		m.mu.Unlock()
+		// Ack so the parent knows the deposit landed before it forks.
+		ack := ctlmsg.Msg{Kind: ctlmsg.KForkSecret, Secret: cm.Secret, Status: ctlmsg.StatusOK}
+		m.sendTo(ctx, int(cm.PID), &ack, false)
+	case ctlmsg.KWake:
+		m.wakeThread(int(cm.PID), int(cm.TID))
+	case ctlmsg.KSleepNote:
+		// informational
+	case ctlmsg.KAcceptHint:
+		m.onAcceptHint(ctx, pc, cm)
+	case ctlmsg.KStealRes:
+		m.onStealRes(ctx, pc, cm)
+	case ctlmsg.KMSynAck:
+		// Server libsd finished building its endpoint: relay to the
+		// client's monitor.
+		m.mu.Lock()
+		entry, ok := m.remotePend[cm.ConnID]
+		mc := m.mchans[entry.clientHost]
+		m.mu.Unlock()
+		if ok && mc != nil {
+			mc.send(cm)
+		} else if ok && entry.clientHost == m.H.Name {
+			// Same-host RDMA setup is not a real configuration; ignore.
+			_ = entry
+		}
+	case ctlmsg.KReQP:
+		m.onReQP(ctx, pc, cm)
+	case ctlmsg.KReQPRes:
+		// Peer libsd built the extra QP; route back to the forked child's
+		// host monitor.
+		m.mu.Lock()
+		dst := m.reqpRoute[cm.QID]
+		mc := m.mchans[dst]
+		m.mu.Unlock()
+		if mc != nil {
+			mc.send(cm)
+		}
+	}
+}
+
+// handleRemote processes a message arriving on a monitor channel.
+func (m *Monitor) handleRemote(ctx exec.Context, mc *mchan, cm *ctlmsg.Msg) {
+	switch cm.Kind {
+	case ctlmsg.KMSyn:
+		ref, ok := m.pickListener(cm.Port)
+		if !ok {
+			r := ctlmsg.Msg{Kind: ctlmsg.KMRefused, ConnID: cm.ConnID}
+			mc.send(&r)
+			return
+		}
+		m.mu.Lock()
+		m.remotePend[cm.ConnID] = remotePendEntry{clientHost: mc.peer}
+		m.connOwner[cm.ConnID] = ref.pid
+		m.ConnsDispatched++
+		m.mu.Unlock()
+		nc := *cm
+		nc.Kind = ctlmsg.KNewConn
+		nc.Transport = ctlmsg.TransportRDMA
+		nc.Port = cm.Port
+		nc.TID = int64(ref.tid)
+		nc.SetHost(mc.peer) // client host, for qp.Connect on the server
+		m.sendTo(ctx, ref.pid, &nc, true)
+	case ctlmsg.KMSynAck:
+		m.mu.Lock()
+		entry := m.remotePend[cm.ConnID]
+		m.mu.Unlock()
+		res := *cm
+		res.Kind = ctlmsg.KConnectRes
+		res.Status = ctlmsg.StatusOK
+		res.Transport = ctlmsg.TransportRDMA
+		res.SetHost(mc.peer) // server host
+		m.sendTo(ctx, entry.clientPID, &res, false)
+	case ctlmsg.KMRefused:
+		m.mu.Lock()
+		entry := m.remotePend[cm.ConnID]
+		delete(m.remotePend, cm.ConnID)
+		m.mu.Unlock()
+		m.fail(ctx, entry.clientPID, cm.ConnID, ctlmsg.StatusNoListener)
+	case ctlmsg.KReQPPeer:
+		m.mu.Lock()
+		owner := m.connOwner[cm.QID]
+		m.reqpRoute[cm.QID] = mc.peer
+		m.mu.Unlock()
+		if owner != 0 {
+			m.sendTo(ctx, owner, cm, true)
+		}
+	case ctlmsg.KReQPRes:
+		// Back at the forked child's host: deliver to the requester.
+		m.sendTo(ctx, int(cm.Aux), cm, true)
+	}
+}
+
+func (m *Monitor) wakeThread(pid, tid int) {
+	p := m.H.Process(pid)
+	if p == nil {
+		return
+	}
+	t := p.ThreadByTID(tid)
+	if t == nil || t.H == nil {
+		return
+	}
+	// Waking a sleeping process costs the kernel wakeup latency (§2.1.2).
+	th := t.H
+	m.H.Clk.After(m.H.Costs.ProcessWakeup, func() { th.Unpark() })
+}
+
+// --- listen / bind ---
+
+func (m *Monitor) onListen(ctx exec.Context, pc *procChan, cm *ctlmsg.Msg) {
+	if cm.Status == 1 { // remove
+		m.mu.Lock()
+		refs := m.listeners[cm.Port]
+		for i, r := range refs {
+			if r.pid == int(cm.PID) && r.tid == int(cm.TID) {
+				m.listeners[cm.Port] = append(refs[:i], refs[i+1:]...)
+				break
+			}
+		}
+		m.mu.Unlock()
+		return
+	}
+	res := ctlmsg.Msg{Kind: ctlmsg.KBindRes, Port: cm.Port, TID: cm.TID}
+	// Privileged ports require root, like the kernel would enforce.
+	if cm.Port < 1024 && pc.p.UID != 0 {
+		res.Status = ctlmsg.StatusDenied
+		m.sendTo(ctx, pc.p.PID, &res, false)
+		return
+	}
+	m.mu.Lock()
+	m.listeners[cm.Port] = append(m.listeners[cm.Port], listenerRef{pid: int(cm.PID), tid: int(cm.TID)})
+	needKern := m.KS != nil && m.kernLs[cm.Port] == nil
+	m.mu.Unlock()
+	if needKern {
+		// Dual-listen on the kernel stack so regular TCP/IP peers can
+		// still reach this service (§4.5.3).
+		if kl, err := m.KS.Listen(cm.Port); err == nil {
+			kl.SetNotify(m.wake)
+			m.mu.Lock()
+			m.kernLs[cm.Port] = kl
+			m.mu.Unlock()
+		}
+	}
+	res.Status = ctlmsg.StatusOK
+	m.sendTo(ctx, pc.p.PID, &res, false)
+}
+
+// pickListener round-robins over a port's listeners (§4.5.2).
+func (m *Monitor) pickListener(port uint16) (listenerRef, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	refs := m.listeners[port]
+	if len(refs) == 0 {
+		return listenerRef{}, false
+	}
+	i := m.rrIdx[port] % len(refs)
+	m.rrIdx[port] = i + 1
+	return refs[i], true
+}
+
+// --- connect dispatch ---
+
+func (m *Monitor) onConnect(ctx exec.Context, pc *procChan, cm *ctlmsg.Msg) {
+	dst := cm.HostStr()
+	m.mu.Lock()
+	allowed := m.policy(pc.p.UID, dst, cm.Port)
+	m.mu.Unlock()
+	if !allowed {
+		m.fail(ctx, pc.p.PID, cm.ConnID, ctlmsg.StatusDenied)
+		return
+	}
+	if dst == m.H.Name {
+		m.dispatchIntra(ctx, pc, cm)
+		return
+	}
+	m.mu.Lock()
+	m.connOwner[cm.ConnID] = int(cm.PID)
+	m.remotePend[cm.ConnID] = remotePendEntry{clientPID: int(cm.PID)}
+	mc := m.mchans[dst]
+	m.mu.Unlock()
+	if mc != nil {
+		fwd := *cm
+		fwd.Kind = ctlmsg.KMSyn
+		fwd.SetHost(m.H.Name) // origin (unused by the peer; it trusts the channel)
+		mc.send(&fwd)
+		return
+	}
+	// No channel yet: probe the peer (special-option SYN) and queue the
+	// connect until the probe resolves.
+	m.mu.Lock()
+	q := m.probes[dst]
+	m.probes[dst] = append(q, cm)
+	first := len(q) == 0
+	m.mu.Unlock()
+	if first {
+		m.probe(ctx, dst)
+	}
+}
+
+func (m *Monitor) fail(ctx exec.Context, pid int, connID uint64, status uint8) {
+	res := ctlmsg.Msg{Kind: ctlmsg.KConnectRes, ConnID: connID, Status: status}
+	m.sendTo(ctx, pid, &res, false)
+}
+
+func (m *Monitor) dispatchIntra(ctx exec.Context, pc *procChan, cm *ctlmsg.Msg) {
+	ref, ok := m.pickListener(cm.Port)
+	if !ok {
+		m.fail(ctx, pc.p.PID, cm.ConnID, ctlmsg.StatusNoListener)
+		return
+	}
+	is := core.NewIntraSock(cm.ConnID, sockRingCap)
+	seg := m.H.SHM.Create(fmt.Sprintf("intra-%d", cm.ConnID), is)
+	m.mu.Lock()
+	m.connOwner[cm.ConnID] = ref.pid
+	m.ConnsDispatched++
+	m.mu.Unlock()
+
+	nc := ctlmsg.Msg{
+		Kind: ctlmsg.KNewConn, ConnID: cm.ConnID, Port: cm.Port,
+		Transport: ctlmsg.TransportSHM, ShmToken: uint64(seg.Token),
+		PID: cm.PID, TID: int64(ref.tid),
+	}
+	m.sendTo(ctx, ref.pid, &nc, true)
+
+	res := ctlmsg.Msg{
+		Kind: ctlmsg.KConnectRes, ConnID: cm.ConnID, Status: ctlmsg.StatusOK,
+		Transport: ctlmsg.TransportSHM, ShmToken: uint64(seg.Token),
+		PID: int64(ref.pid),
+	}
+	m.sendTo(ctx, pc.p.PID, &res, false)
+}
+
+// sockRingCap matches core's per-socket ring size.
+const sockRingCap = 128 * 1024
+
+// --- token arbitration (§4.1.1) ---
+
+func (m *Monitor) onTakeover(ctx exec.Context, pc *procChan, cm *ctlmsg.Msg) {
+	key := tokKey{qid: cm.QID, dir: cm.Dir, side: cm.SrcPort}
+	m.mu.Lock()
+	ts := m.tokens[key]
+	if ts == nil {
+		ts = &tokState{}
+		m.tokens[key] = ts
+	}
+	me := waiterRef{pid: int(cm.PID), tid: int(cm.TID)}
+	dup := false
+	for _, w := range ts.waiters {
+		if w == me {
+			dup = true
+			break
+		}
+	}
+	if !dup {
+		ts.waiters = append(ts.waiters, me)
+	}
+	first := len(ts.waiters) == 1 && !dup
+	holder := core.GTID(cm.Aux)
+	m.mu.Unlock()
+	if !first {
+		if dup && !tsRevoking(m, key) && holder != 0 {
+			// Re-request after a snatched grant: restart the revoke chain.
+			rev := ctlmsg.Msg{Kind: ctlmsg.KTokenReturn, QID: cm.QID, Dir: cm.Dir, SrcPort: cm.SrcPort}
+			m.sendTo(ctx, holder.PID(), &rev, true)
+		}
+		return // already revoking; FIFO queue holds this waiter
+	}
+	if holder == 0 {
+		m.grantNext(ctx, key)
+		return
+	}
+	m.mu.Lock()
+	ts.revokeSent = true
+	m.mu.Unlock()
+	// Ask the holder to give it back; the signal interrupts a busy process.
+	rev := ctlmsg.Msg{Kind: ctlmsg.KTokenReturn, QID: cm.QID, Dir: cm.Dir, SrcPort: cm.SrcPort}
+	m.sendTo(ctx, holder.PID(), &rev, true)
+	m.mu.Lock()
+	ts.revokeSent = true
+	m.mu.Unlock()
+}
+
+func tsRevoking(m *Monitor, key tokKey) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ts := m.tokens[key]
+	return ts != nil && ts.revokeSent
+}
+
+func (m *Monitor) onTokenReturned(ctx exec.Context, cm *ctlmsg.Msg) {
+	key := tokKey{qid: cm.QID, dir: cm.Dir, side: cm.SrcPort}
+	m.mu.Lock()
+	ts := m.tokens[key]
+	if ts != nil {
+		ts.revokeSent = false
+	}
+	pending := ts != nil && len(ts.waiters) > 0
+	m.mu.Unlock()
+	if pending {
+		m.grantNext(ctx, key)
+	}
+}
+
+func (m *Monitor) grantNext(ctx exec.Context, key tokKey) {
+	m.mu.Lock()
+	ts := m.tokens[key]
+	if ts == nil || len(ts.waiters) == 0 {
+		m.mu.Unlock()
+		return
+	}
+	w := ts.waiters[0]
+	ts.waiters = ts.waiters[1:]
+	more := len(ts.waiters) > 0
+	m.TokensGranted++
+	m.mu.Unlock()
+
+	grant := ctlmsg.Msg{
+		Kind: ctlmsg.KTokenGrant, QID: key.qid, Dir: key.dir,
+		PID: int64(w.pid), TID: int64(w.tid),
+	}
+	m.sendTo(ctx, w.pid, &grant, false)
+	if more {
+		// The new holder immediately owes the token to the next waiter.
+		m.mu.Lock()
+		if ts := m.tokens[key]; ts != nil {
+			ts.revokeSent = true
+		}
+		m.mu.Unlock()
+		rev := ctlmsg.Msg{Kind: ctlmsg.KTokenReturn, QID: key.qid, Dir: key.dir, SrcPort: key.side}
+		m.sendTo(ctx, w.pid, &rev, true)
+	}
+}
+
+// --- work stealing (§4.5.2) ---
+
+func (m *Monitor) onAcceptHint(ctx exec.Context, pc *procChan, cm *ctlmsg.Msg) {
+	// Pick a victim: any other listener on the port.
+	m.mu.Lock()
+	refs := m.listeners[cm.Port]
+	var victim *listenerRef
+	for i := range refs {
+		if refs[i].pid != int(cm.PID) || refs[i].tid != int(cm.TID) {
+			victim = &refs[i]
+			break
+		}
+	}
+	if victim == nil {
+		m.mu.Unlock()
+		return
+	}
+	m.stealSeq++
+	id := m.stealSeq
+	m.steals[id] = stealReq{thiefPID: int(cm.PID), thiefTID: int(cm.TID), port: cm.Port}
+	m.mu.Unlock()
+	req := ctlmsg.Msg{Kind: ctlmsg.KStealReq, Port: cm.Port, TID: int64(victim.tid), Aux: id}
+	m.sendTo(ctx, victim.pid, &req, true)
+}
+
+func (m *Monitor) onStealRes(ctx exec.Context, pc *procChan, cm *ctlmsg.Msg) {
+	m.mu.Lock()
+	sr, ok := m.steals[cm.Aux]
+	delete(m.steals, cm.Aux)
+	m.mu.Unlock()
+	if !ok || cm.Status != ctlmsg.StatusOK {
+		return
+	}
+	// Re-dispatch the stolen descriptor to the thief.
+	nc := *cm
+	nc.Kind = ctlmsg.KNewConn
+	nc.Status = 0
+	nc.TID = int64(sr.thiefTID)
+	m.mu.Lock()
+	m.connOwner[cm.ConnID] = sr.thiefPID
+	m.mu.Unlock()
+	m.sendTo(ctx, sr.thiefPID, &nc, true)
+}
+
+// --- post-fork QP re-establishment (§4.1.2) ---
+
+func (m *Monitor) onReQP(ctx exec.Context, pc *procChan, cm *ctlmsg.Msg) {
+	peerHost := cm.HostStr()
+	fwd := *cm
+	fwd.Kind = ctlmsg.KReQPPeer
+	fwd.Aux = uint64(cm.PID) // requester pid rides along for reply routing
+	fwd.SetHost(m.H.Name)    // the child's host, for qp.Connect on the peer
+	if peerHost == "" || peerHost == m.H.Name {
+		// Intra-host RDMA does not exist; nothing to do.
+		return
+	}
+	m.mu.Lock()
+	mc := m.mchans[peerHost]
+	m.mu.Unlock()
+	if mc != nil {
+		mc.send(&fwd)
+	}
+}

@@ -1,0 +1,266 @@
+package monitor
+
+import (
+	"bytes"
+
+	"socksdirect/internal/ctlmsg"
+	"socksdirect/internal/exec"
+	"socksdirect/internal/ksocket"
+	"socksdirect/internal/tcpstack"
+)
+
+// sdMagic prefixes the special TCP option that advertises SocksDirect
+// capability in SYN / SYN-ACK packets (§4.5.3).
+var sdMagic = []byte("SDCP")
+
+const probeTimeout = 5_000_000 // 5 ms
+
+type probeKind int
+
+const (
+	probeSD probeKind = iota
+	probeNoSD
+	probeRST
+	probeTimeoutKind
+)
+
+type probeResult struct {
+	dst   string
+	sport uint16
+	mc    *mchan
+	kind  probeKind
+	seq   uint64 // non-SD SYNACK's sequence for connection repair
+}
+
+// probe sends a special-option SYN toward dst through the raw socket. The
+// destination port is that of the first queued connect, so a non-SD peer's
+// half-open connection can be completed and repaired into the client.
+func (m *Monitor) probe(ctx exec.Context, dst string) {
+	m.mu.Lock()
+	queued := m.probes[dst]
+	m.mu.Unlock()
+	if m.KS == nil || len(queued) == 0 {
+		m.finishProbes(ctx, dst, probeResult{dst: dst, kind: probeTimeoutKind})
+		return
+	}
+	st := m.KS.TCP()
+	m.mu.Lock()
+	m.probeSeq++
+	sport := m.probeSeq
+	m.mu.Unlock()
+
+	mc := newMchan(m.H, dst)
+	var opt ctlmsg.Msg
+	opt.Kind = ctlmsg.KMSyn
+	opt.QPN = mc.qp.QPN()
+	opts := append(append([]byte{}, sdMagic...), opt.Marshal(nil)...)
+
+	answered := false
+	st.RegisterRawPort(sport, func(seg *tcpstack.Segment) {
+		if answered {
+			return
+		}
+		answered = true
+		pr := probeResult{dst: dst, sport: sport, mc: mc}
+		switch {
+		case seg.Flags&tcpstack.FRST != 0:
+			pr.kind = probeRST
+		case bytes.HasPrefix(seg.Options, sdMagic):
+			if rm, ok := ctlmsg.Unmarshal(seg.Options[len(sdMagic):]); ok {
+				mc.connect(dst, rm.QPN)
+				pr.kind = probeSD
+			} else {
+				pr.kind = probeRST
+			}
+		default:
+			// Plain SYN-ACK: a regular TCP/IP peer. Complete the
+			// handshake so the server sees an established connection.
+			pr.kind = probeNoSD
+			pr.seq = seg.Seq
+			st.Inject(&tcpstack.Segment{
+				DstHost: dst, SrcPort: sport, DstPort: seg.SrcPort,
+				Seq: 1, Ack: seg.Seq + 1, Flags: tcpstack.FACK,
+			})
+		}
+		m.queueProbeResult(pr)
+	})
+	st.Inject(&tcpstack.Segment{
+		DstHost: dst, SrcPort: sport, DstPort: queued[0].Port,
+		Seq: 0, Flags: tcpstack.FSYN, Options: opts,
+	})
+	m.H.Clk.After(probeTimeout, func() {
+		if !answered {
+			answered = true
+			m.queueProbeResult(probeResult{dst: dst, sport: sport, kind: probeTimeoutKind})
+		}
+	})
+}
+
+// queueProbeResult defers processing to the daemon thread (raw-port
+// handlers run in timer context and must not block).
+func (m *Monitor) queueProbeResult(pr probeResult) {
+	m.mu.Lock()
+	m.probeDone = append(m.probeDone, pr)
+	m.mu.Unlock()
+	m.wake()
+}
+
+// finishProbes resolves every queued connect for dst according to the
+// probe outcome.
+func (m *Monitor) finishProbes(ctx exec.Context, dst string, pr probeResult) {
+	m.mu.Lock()
+	queued := m.probes[dst]
+	delete(m.probes, dst)
+	m.mu.Unlock()
+	if m.KS != nil && pr.sport != 0 {
+		// Release the raw port: a repaired connection reuses it as an
+		// ordinary local port.
+		m.KS.TCP().UnregisterRawPort(pr.sport)
+	}
+
+	switch pr.kind {
+	case probeSD:
+		m.mu.Lock()
+		m.mchans[dst] = pr.mc
+		m.mu.Unlock()
+		// Re-drive every queued connect through the RDMA path.
+		for _, cm := range queued {
+			m.mu.Lock()
+			pc := m.procs[int(cm.PID)]
+			m.mu.Unlock()
+			if pc != nil {
+				m.onConnect(ctx, pc, cm)
+			}
+		}
+	case probeNoSD:
+		for i, cm := range queued {
+			if i == 0 && cm.Port == queuedPort(queued) {
+				// The probe's half-open connection IS this connect:
+				// repair it into the client's kernel FD table (§4.5.3).
+				m.repairInto(ctx, cm, dst, pr.sport, pr.seq)
+				continue
+			}
+			m.dialFallback(cm, dst)
+		}
+	case probeRST:
+		if len(queued) > 0 {
+			m.fail(ctx, int(queued[0].PID), queued[0].ConnID, ctlmsg.StatusNoListener)
+			for _, cm := range queued[1:] {
+				m.dialFallback(cm, dst)
+			}
+		}
+	default: // timeout / unreachable
+		for _, cm := range queued {
+			m.fail(ctx, int(cm.PID), cm.ConnID, ctlmsg.StatusNoRoute)
+		}
+	}
+}
+
+func queuedPort(queued []*ctlmsg.Msg) uint16 {
+	if len(queued) == 0 {
+		return 0
+	}
+	return queued[0].Port
+}
+
+// repairInto turns the completed probe handshake into a live kernel
+// connection owned by the client process (TCP connection repair: "the
+// monitor sends the kernel FD to the application", §4.5.3).
+func (m *Monitor) repairInto(ctx exec.Context, cm *ctlmsg.Msg, dst string, sport uint16, synSeq uint64) {
+	conn, err := m.KS.TCP().Repair(sport, dst, cm.Port, 1, synSeq+1)
+	if err != nil {
+		m.fail(ctx, int(cm.PID), cm.ConnID, ctlmsg.StatusNoRoute)
+		return
+	}
+	p := m.H.Process(int(cm.PID))
+	if p == nil {
+		return
+	}
+	sk := ksocket.Wrap(m.H, conn)
+	fd := p.InstallFD(sk.KFile())
+	res := ctlmsg.Msg{
+		Kind: ctlmsg.KConnectRes, ConnID: cm.ConnID, Status: ctlmsg.StatusOK,
+		Transport: ctlmsg.TransportTCP, Aux: uint64(fd),
+	}
+	m.sendTo(ctx, int(cm.PID), &res, false)
+}
+
+// dialFallback opens an ordinary kernel TCP connection on a helper thread
+// (the daemon must not block) and hands it to the client.
+func (m *Monitor) dialFallback(cm *ctlmsg.Msg, dst string) {
+	connID, pid, port := cm.ConnID, int(cm.PID), cm.Port
+	m.H.RT.Spawn(m.H.Name+"/mon-dial", func(ctx exec.Context) {
+		sk, err := m.KS.Dial(ctx, dst, port)
+		if err != nil {
+			m.fail(ctx, pid, connID, ctlmsg.StatusNoListener)
+			return
+		}
+		p := m.H.Process(pid)
+		if p == nil {
+			return
+		}
+		fd := p.InstallFD(sk.KFile())
+		res := ctlmsg.Msg{
+			Kind: ctlmsg.KConnectRes, ConnID: connID, Status: ctlmsg.StatusOK,
+			Transport: ctlmsg.TransportTCP, Aux: uint64(fd),
+		}
+		m.sendTo(ctx, pid, &res, false)
+	})
+}
+
+// synFilter is the server-side raw hook: special-option SYNs are answered
+// with credentials for the monitor channel and never reach the kernel
+// stack (hence no RST — the iptables rule of §4.5.3); everything else
+// passes through to the dual kernel listener.
+func (m *Monitor) synFilter(seg *tcpstack.Segment) bool {
+	if !bytes.HasPrefix(seg.Options, sdMagic) {
+		return false
+	}
+	rm, ok := ctlmsg.Unmarshal(seg.Options[len(sdMagic):])
+	if !ok {
+		return true // malformed special SYN: swallow
+	}
+	mc := newMchan(m.H, seg.SrcHost)
+	if err := mc.connect(seg.SrcHost, rm.QPN); err != nil {
+		return true
+	}
+	m.mu.Lock()
+	m.mchans[seg.SrcHost] = mc
+	m.mu.Unlock()
+	var opt ctlmsg.Msg
+	opt.Kind = ctlmsg.KMSynAck
+	opt.QPN = mc.qp.QPN()
+	opts := append(append([]byte{}, sdMagic...), opt.Marshal(nil)...)
+	m.KS.TCP().Inject(&tcpstack.Segment{
+		DstHost: seg.SrcHost, SrcPort: seg.DstPort, DstPort: seg.SrcPort,
+		Seq: 0, Ack: seg.Seq + 1, Flags: tcpstack.FSYN | tcpstack.FACK,
+		Options: opts,
+	})
+	m.wake()
+	return true
+}
+
+// acceptFallback drains a dual kernel listener: a regular TCP/IP client
+// reached a SocksDirect service; wrap the kernel connection and dispatch
+// it like any other new connection.
+func (m *Monitor) acceptFallback(ctx exec.Context, port uint16, kl *ksocket.Listener) {
+	sk, err := kl.Accept(ctx)
+	if err != nil {
+		return
+	}
+	ref, ok := m.pickListener(port)
+	if !ok {
+		sk.Close(ctx)
+		return
+	}
+	p := m.H.Process(ref.pid)
+	if p == nil {
+		return
+	}
+	fd := p.InstallFD(sk.KFile())
+	nc := ctlmsg.Msg{
+		Kind: ctlmsg.KNewConn, Port: port, Transport: ctlmsg.TransportTCP,
+		Aux: uint64(fd), TID: int64(ref.tid),
+	}
+	m.sendTo(ctx, ref.pid, &nc, true)
+}

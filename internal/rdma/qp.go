@@ -1,0 +1,465 @@
+package rdma
+
+import (
+	"fmt"
+	"sync"
+)
+
+// QP states (the subset of the ibv state machine the system uses).
+type QPState uint8
+
+const (
+	QPReset QPState = iota
+	QPRTS           // connected, ready to send
+	QPErr
+)
+
+// DefaultRTO is the retransmission timeout. It is deliberately above the
+// Real-mode timer resolution threshold so retransmit timers never fire
+// inline with the posting call.
+const DefaultRTO = 500_000 // 500 us
+
+// DefaultWindow is the go-back-N window in packets.
+const DefaultWindow = 64
+
+// MaxRetry transitions the QP to error state after this many timeouts.
+const MaxRetry = 16
+
+// packet is what crosses the fabric between two NICs.
+type packet struct {
+	fromQPN uint32
+	toQPN   uint32
+	op      uint8
+	seq     uint64
+	last    bool
+	rkey    uint64
+	raddr   int64
+	imm     uint32
+	payload []byte
+	ackSeq  uint64
+}
+
+type wrComp struct {
+	lastSeq uint64
+	wrid    uint64
+	op      uint8
+	length  int
+}
+
+type recvWQE struct {
+	wrid uint64
+	buf  []byte
+	fill int
+}
+
+// QP is a reliable-connection queue pair.
+type QP struct {
+	nic    *NIC
+	pd     *PD
+	qpn    uint32
+	sendCQ *CQ
+	recvCQ *CQ
+
+	mu         sync.Mutex
+	state      QPState
+	remoteHost string
+	remoteQPN  uint32
+	port       portSender
+
+	// transmit side
+	sndSeq   uint64    // next sequence number to assign
+	sndUna   uint64    // oldest unacknowledged
+	inflight []*packet // transmitted, unacked (seq order)
+	pending  []*packet // waiting for window space
+	comps    []wrComp  // WRs awaiting cumulative ack
+	window   int
+	rtoGen   uint64 // invalidates timers of a reset/closed QP
+	rtoArmed bool
+	unaAtArm uint64 // progress detection: sndUna when the timer was armed
+	retries  int
+
+	// receive side
+	rcvNext      uint64
+	rxWriteAccum int
+	recvQ        []recvWQE
+}
+
+// portSender abstracts fabric.Endpoint for tests.
+type portSender interface {
+	Send(frame any, payloadBytes int)
+}
+
+// CreateQP makes a queue pair in Reset state. The two CQs may be shared
+// with other QPs (libsd shares one CQ per thread).
+func (pd *PD) CreateQP(sendCQ, recvCQ *CQ) *QP {
+	n := pd.nic
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.nextQPN++
+	qp := &QP{
+		nic:    n,
+		pd:     pd,
+		qpn:    n.nextQPN,
+		sendCQ: sendCQ,
+		recvCQ: recvCQ,
+		window: DefaultWindow,
+	}
+	n.qps[qp.qpn] = qp
+	return qp
+}
+
+// QPN returns the queue pair number (exchanged out of band by monitors).
+func (qp *QP) QPN() uint32 { return qp.qpn }
+
+// State returns the current state.
+func (qp *QP) State() QPState {
+	qp.mu.Lock()
+	defer qp.mu.Unlock()
+	return qp.state
+}
+
+// Connect transitions to RTS toward (remoteHost, remoteQPN). The fabric
+// port to remoteHost must exist.
+func (qp *QP) Connect(remoteHost string, remoteQPN uint32) error {
+	n := qp.nic
+	n.mu.Lock()
+	port, ok := n.ports[remoteHost]
+	n.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("rdma: no port toward host %q", remoteHost)
+	}
+	qp.mu.Lock()
+	defer qp.mu.Unlock()
+	if qp.state != QPReset {
+		return ErrQPState
+	}
+	qp.remoteHost, qp.remoteQPN = remoteHost, remoteQPN
+	qp.port = port
+	qp.state = QPRTS
+	return nil
+}
+
+// Close flushes outstanding work and removes the QP from the NIC.
+func (qp *QP) Close() {
+	qp.mu.Lock()
+	pend := qp.toErrorLocked()
+	qp.mu.Unlock()
+	emit(pend)
+	qp.nic.mu.Lock()
+	delete(qp.nic.qps, qp.qpn)
+	qp.nic.mu.Unlock()
+}
+
+// pendCQE is a completion waiting to be pushed once qp.mu is released —
+// CQ notify callbacks may re-enter the QP (the library's completion pump
+// posts follow-up writes), so pushing under the lock would self-deadlock.
+type pendCQE struct {
+	cq *CQ
+	e  CQE
+}
+
+func emit(pend []pendCQE) {
+	for _, p := range pend {
+		p.cq.push(p.e)
+	}
+}
+
+func (qp *QP) toErrorLocked() []pendCQE {
+	if qp.state == QPErr {
+		return nil
+	}
+	qp.state = QPErr
+	var pend []pendCQE
+	for _, c := range qp.comps {
+		pend = append(pend, pendCQE{qp.sendCQ, CQE{WRID: c.wrid, QPN: qp.qpn, Op: c.op, Status: WCFlushErr}})
+	}
+	qp.comps = nil
+	qp.inflight = nil
+	qp.pending = nil
+	for _, w := range qp.recvQ {
+		pend = append(pend, pendCQE{qp.recvCQ, CQE{WRID: w.wrid, QPN: qp.qpn, Op: OpSend, Status: WCFlushErr}})
+	}
+	qp.recvQ = nil
+	qp.rtoGen++
+	return pend
+}
+
+// SendPending reports unfinished send work (adaptive batching input).
+func (qp *QP) SendPending() int {
+	qp.mu.Lock()
+	defer qp.mu.Unlock()
+	return len(qp.inflight) + len(qp.pending)
+}
+
+// PostWrite posts a one-sided RDMA WRITE (withImm=false) or
+// WRITE-WITH-IMMEDIATE (withImm=true) of data into the remote MR
+// identified by rkey at offset raddr. Completion appears on the send CQ
+// when the NIC-level ack covers the last segment.
+func (qp *QP) PostWrite(wrid uint64, data []byte, rkey uint64, raddr int64, imm uint32, withImm bool) error {
+	op := OpWrite
+	if withImm {
+		op = OpWriteImm
+	}
+	return qp.post(wrid, op, data, rkey, raddr, imm)
+}
+
+// PostSend posts a two-sided SEND consuming a receive WQE on the peer.
+func (qp *QP) PostSend(wrid uint64, data []byte) error {
+	return qp.post(wrid, OpSend, data, 0, 0, 0)
+}
+
+// PostRecv posts a receive buffer for incoming SENDs.
+func (qp *QP) PostRecv(wrid uint64, buf []byte) error {
+	qp.mu.Lock()
+	defer qp.mu.Unlock()
+	if qp.state == QPErr {
+		return ErrQPState
+	}
+	qp.recvQ = append(qp.recvQ, recvWQE{wrid: wrid, buf: buf})
+	return nil
+}
+
+func (qp *QP) post(wrid uint64, op uint8, data []byte, rkey uint64, raddr int64, imm uint32) error {
+	qp.mu.Lock()
+	defer qp.mu.Unlock()
+	if qp.state != QPRTS {
+		return ErrQPState
+	}
+	// Segment to MTU. The payload is copied at post time: this models the
+	// NIC DMA-reading the (pinned) source buffer, and keeps the semantics
+	// that the app may not touch the buffer until completion while letting
+	// the simulation tolerate it.
+	remaining := data
+	off := int64(0)
+	for {
+		n := len(remaining)
+		if n > MTU {
+			n = MTU
+		}
+		var pl []byte
+		if n > 0 {
+			pl = make([]byte, n)
+			copy(pl, remaining[:n])
+		}
+		last := n == len(remaining)
+		p := &packet{
+			fromQPN: qp.qpn,
+			toQPN:   qp.remoteQPN,
+			op:      op,
+			seq:     qp.sndSeq,
+			last:    last,
+			rkey:    rkey,
+			raddr:   raddr + off,
+			imm:     imm,
+			payload: pl,
+		}
+		qp.sndSeq++
+		if last {
+			qp.comps = append(qp.comps, wrComp{lastSeq: p.seq, wrid: wrid, op: op, length: len(data)})
+		}
+		qp.enqueueLocked(p)
+		if last {
+			break
+		}
+		remaining = remaining[n:]
+		off += int64(n)
+	}
+	return nil
+}
+
+func (qp *QP) enqueueLocked(p *packet) {
+	if len(qp.inflight) < qp.window {
+		qp.transmitLocked(p)
+	} else {
+		qp.pending = append(qp.pending, p)
+	}
+}
+
+func (qp *QP) transmitLocked(p *packet) {
+	qp.inflight = append(qp.inflight, p)
+	qp.port.Send(p, len(p.payload))
+	qp.armRTOLocked()
+}
+
+func (qp *QP) armRTOLocked() {
+	if qp.rtoArmed {
+		return
+	}
+	qp.rtoArmed = true
+	qp.unaAtArm = qp.sndUna
+	gen := qp.rtoGen
+	qp.nic.clk.After(DefaultRTO, func() { qp.onTimeout(gen) })
+}
+
+func (qp *QP) onTimeout(gen uint64) {
+	qp.mu.Lock()
+	defer qp.mu.Unlock()
+	if gen != qp.rtoGen {
+		return
+	}
+	qp.rtoArmed = false
+	if qp.state != QPRTS || len(qp.inflight) == 0 {
+		return
+	}
+	if qp.sndUna > qp.unaAtArm {
+		// Progress since arming: not a stall, just keep watching.
+		qp.armRTOLocked()
+		return
+	}
+	qp.retries++
+	if qp.retries > MaxRetry {
+		for _, c := range qp.comps {
+			qp.sendCQ.push(CQE{WRID: c.wrid, QPN: qp.qpn, Op: c.op, Status: WCRetryExceeded})
+		}
+		qp.comps = nil
+		qp.state = QPErr
+		return
+	}
+	// go-back-N: retransmit everything unacked.
+	for _, p := range qp.inflight {
+		qp.port.Send(p, len(p.payload))
+	}
+	qp.armRTOLocked()
+}
+
+// onAck processes a cumulative acknowledgment.
+func (qp *QP) onAck(ack uint64) {
+	var pend []pendCQE
+	qp.mu.Lock()
+	defer func() {
+		qp.mu.Unlock()
+		emit(pend)
+	}()
+	if ack <= qp.sndUna {
+		return
+	}
+	qp.sndUna = ack
+	qp.retries = 0
+	// Drop acked packets from the window.
+	i := 0
+	for i < len(qp.inflight) && qp.inflight[i].seq < ack {
+		i++
+	}
+	qp.inflight = qp.inflight[:copy(qp.inflight, qp.inflight[i:])]
+	// Complete covered WRs, in order (pushed after unlock).
+	j := 0
+	for j < len(qp.comps) && qp.comps[j].lastSeq < ack {
+		c := qp.comps[j]
+		pend = append(pend, pendCQE{qp.sendCQ, CQE{WRID: c.wrid, QPN: qp.qpn, Op: c.op, Status: WCSuccess, Len: c.length}})
+		j++
+	}
+	qp.comps = qp.comps[:copy(qp.comps, qp.comps[j:])]
+	// Open the window for pending work.
+	for len(qp.pending) > 0 && len(qp.inflight) < qp.window {
+		p := qp.pending[0]
+		qp.pending = qp.pending[:copy(qp.pending, qp.pending[1:])]
+		qp.transmitLocked(p)
+	}
+}
+
+// onFrame is the NIC receive pipeline; it runs in timer context.
+func (n *NIC) onFrame(frame any, _ int) {
+	p, ok := frame.(*packet)
+	if !ok {
+		return
+	}
+	n.mu.Lock()
+	qp, ok := n.qps[p.toQPN]
+	n.mu.Unlock()
+	if !ok {
+		return // stale packet for a destroyed QP
+	}
+	if p.op == opAck {
+		qp.onAck(p.ackSeq)
+		return
+	}
+	qp.onData(p)
+}
+
+func (qp *QP) onData(p *packet) {
+	var pend []pendCQE
+	qp.mu.Lock()
+	if qp.state != QPRTS {
+		// A queue pair that is not ready does not receive (hardware
+		// would RNR/ignore); dropping without acking makes the sender
+		// retransmit until Connect completes, so no delivery — and no
+		// completion — can predate the receiver being wired up.
+		qp.mu.Unlock()
+		return
+	}
+	if p.seq != qp.rcvNext {
+		// Out of order (loss upstream) or duplicate: go-back-N discards,
+		// re-acking what we actually have.
+		ack := qp.rcvNext
+		port := qp.portForReply(p)
+		qp.mu.Unlock()
+		if port != nil {
+			port.Send(&packet{fromQPN: qp.qpn, toQPN: p.fromQPN, op: opAck, ackSeq: ack}, 0)
+		}
+		return
+	}
+
+	accepted := true
+	switch p.op {
+	case OpWrite, OpWriteImm:
+		mr := qp.lookupMR(p.rkey)
+		if mr == nil {
+			// Remote access violation: hardware would move the QP to
+			// error; we mirror that.
+			pend = qp.toErrorLocked()
+			qp.mu.Unlock()
+			emit(pend)
+			return
+		}
+		if err := mr.writeAt(p.raddr, p.payload); err != nil {
+			pend = qp.toErrorLocked()
+			qp.mu.Unlock()
+			emit(pend)
+			return
+		}
+		qp.rxWriteAccum += len(p.payload)
+		if p.last {
+			if p.op == OpWriteImm {
+				pend = append(pend, pendCQE{qp.recvCQ, CQE{QPN: qp.qpn, Op: OpWriteImm, Status: WCSuccess, Len: qp.rxWriteAccum, Imm: p.imm}})
+			}
+			qp.rxWriteAccum = 0
+		}
+	case OpSend:
+		if len(qp.recvQ) == 0 {
+			accepted = false // RNR: do not advance; sender will retry
+		} else {
+			w := &qp.recvQ[0]
+			w.fill += copy(w.buf[w.fill:], p.payload)
+			if p.last {
+				cqe := CQE{WRID: w.wrid, QPN: qp.qpn, Op: OpSend, Status: WCSuccess, Len: w.fill, Imm: p.imm}
+				qp.recvQ = qp.recvQ[:copy(qp.recvQ, qp.recvQ[1:])]
+				pend = append(pend, pendCQE{qp.recvCQ, cqe})
+			}
+		}
+	}
+	if accepted {
+		qp.rcvNext++
+	}
+	ack := qp.rcvNext
+	port := qp.portForReply(p)
+	qp.mu.Unlock()
+	emit(pend)
+	if port != nil {
+		port.Send(&packet{fromQPN: qp.qpn, toQPN: p.fromQPN, op: opAck, ackSeq: ack}, 0)
+	}
+}
+
+// portForReply returns the fabric port to ack on. For a connected QP this
+// is its own port; before Connect (shouldn't happen for data) nil.
+func (qp *QP) portForReply(p *packet) portSender { return qp.port }
+
+func (qp *QP) lookupMR(rkey uint64) *MR {
+	n := qp.nic
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	mr, ok := n.mrs[rkey]
+	if !ok || mr.pd.id != qp.pd.id {
+		return nil
+	}
+	return mr
+}

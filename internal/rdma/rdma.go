@@ -1,0 +1,311 @@
+// Package rdma simulates the RDMA NIC that SocksDirect offloads its
+// inter-host transport to (§2.1.2, §4.2). It provides the ib_verbs-shaped
+// objects the paper's implementation uses through libibverbs — protection
+// domains, registered memory regions with rkeys, reliable-connection queue
+// pairs, completion queues shareable across QPs — and the three verbs the
+// system needs: one-sided WRITE, WRITE-WITH-IMMEDIATE (the libsd data
+// path), and two-sided SEND/RECV (the RSocket baseline).
+//
+// The transport below the verbs is a hardware-offloaded reliable delivery
+// engine: messages are segmented to MTU, sequenced per QP, and recovered
+// with go-back-N retransmission, which is exactly the loss-recovery class
+// the paper assumes of commodity RDMA NICs ("message write ordering is
+// observed in RDMA NICs that use go-back-0 or go-back-N", §4.2). Because
+// reception is strictly in-order, a WRITE-WITH-IMM completion is never
+// delivered before the data it covers — the property libsd's ring buffer
+// relies on.
+package rdma
+
+import (
+	"errors"
+	"sync"
+
+	"socksdirect/internal/costmodel"
+	"socksdirect/internal/exec"
+	"socksdirect/internal/fabric"
+	"socksdirect/internal/mem"
+)
+
+// MTU is the segment size on the wire.
+const MTU = 4096
+
+// Verb opcodes.
+const (
+	OpWrite uint8 = iota + 1
+	OpWriteImm
+	OpSend
+	opAck
+)
+
+// Errors.
+var (
+	ErrQPState   = errors.New("rdma: queue pair not in a usable state")
+	ErrBadRKey   = errors.New("rdma: remote key validation failed")
+	ErrNoRecvWQE = errors.New("rdma: receive queue empty (RNR)")
+	ErrRange     = errors.New("rdma: access outside memory region")
+)
+
+// WC statuses.
+const (
+	WCSuccess uint8 = iota
+	WCRemoteAccessErr
+	WCRetryExceeded
+	WCFlushErr
+)
+
+// CQE is a completion queue entry (work completion).
+type CQE struct {
+	WRID   uint64
+	QPN    uint32
+	Op     uint8
+	Status uint8
+	Len    int
+	Imm    uint32
+}
+
+// CQ is a completion queue. One CQ may serve many QPs; libsd gives each
+// thread one shared CQ so it polls a single queue for all sockets (§4.2
+// "Amortize polling overhead").
+type CQ struct {
+	mu     sync.Mutex
+	items  []CQE
+	notify []func() // one-shot arms, ibv_req_notify_cq-style (all fire once)
+}
+
+// NewCQ creates an empty completion queue.
+func NewCQ() *CQ { return &CQ{} }
+
+func (cq *CQ) push(e CQE) {
+	cq.mu.Lock()
+	cq.items = append(cq.items, e)
+	ns := cq.notify
+	cq.notify = nil
+	cq.mu.Unlock()
+	for _, n := range ns {
+		n()
+	}
+}
+
+// Poll dequeues up to max completions (max<=0 means all pending).
+func (cq *CQ) Poll(max int) []CQE {
+	cq.mu.Lock()
+	defer cq.mu.Unlock()
+	n := len(cq.items)
+	if n == 0 {
+		return nil
+	}
+	if max > 0 && max < n {
+		n = max
+	}
+	out := make([]CQE, n)
+	copy(out, cq.items[:n])
+	cq.items = cq.items[:copy(cq.items, cq.items[n:])]
+	return out
+}
+
+// PollOne dequeues a single completion without allocating.
+func (cq *CQ) PollOne() (CQE, bool) {
+	cq.mu.Lock()
+	defer cq.mu.Unlock()
+	if len(cq.items) == 0 {
+		return CQE{}, false
+	}
+	e := cq.items[0]
+	cq.items = cq.items[:copy(cq.items, cq.items[1:])]
+	return e, true
+}
+
+// Arm registers a one-shot callback fired at the next completion, used to
+// switch a polling thread into interrupt mode (§4.4). Multiple arms
+// coexist (a sleeping receiver and the library's completion pump).
+func (cq *CQ) Arm(fn func()) {
+	cq.mu.Lock()
+	pending := len(cq.items) > 0
+	if !pending {
+		cq.notify = append(cq.notify, fn)
+	}
+	cq.mu.Unlock()
+	if pending {
+		fn() // completion already waiting; fire immediately
+	}
+}
+
+// Len reports pending completions.
+func (cq *CQ) Len() int {
+	cq.mu.Lock()
+	defer cq.mu.Unlock()
+	return len(cq.items)
+}
+
+// PD is a protection domain: MRs and QPs in different PDs cannot touch.
+type PD struct {
+	nic *NIC
+	id  uint32
+}
+
+// MR is a registered memory region addressable by remote WRITE.
+type MR struct {
+	pd    *PD
+	lkey  uint32
+	rkey  uint64
+	size  int64
+	buf   []byte       // flat registration, or
+	pm    *mem.PhysMem // frame-backed registration (pinned page pool)
+	pages []mem.PageID
+}
+
+// RKey is the capability a peer needs to WRITE here.
+func (m *MR) RKey() uint64 { return m.rkey }
+
+// Size returns the registered length in bytes.
+func (m *MR) Size() int64 { return m.size }
+
+func (m *MR) writeAt(off int64, data []byte) error {
+	if off < 0 || off+int64(len(data)) > m.size {
+		return ErrRange
+	}
+	if m.buf != nil {
+		copy(m.buf[off:], data)
+		return nil
+	}
+	for len(data) > 0 {
+		pi := off / mem.PageSize
+		po := off % mem.PageSize
+		fd, err := m.pm.FrameData(m.pages[pi])
+		if err != nil {
+			return err
+		}
+		n := copy(fd[po:], data)
+		data = data[n:]
+		off += int64(n)
+	}
+	return nil
+}
+
+func (m *MR) readAt(off int64, out []byte) error {
+	if off < 0 || off+int64(len(out)) > m.size {
+		return ErrRange
+	}
+	if m.buf != nil {
+		copy(out, m.buf[off:])
+		return nil
+	}
+	for len(out) > 0 {
+		pi := off / mem.PageSize
+		po := off % mem.PageSize
+		fd, err := m.pm.FrameData(m.pages[pi])
+		if err != nil {
+			return err
+		}
+		n := copy(out, fd[po:])
+		out = out[n:]
+		off += int64(n)
+	}
+	return nil
+}
+
+// NIC is one host's RDMA adapter.
+type NIC struct {
+	clk   exec.Clock
+	costs *costmodel.Costs
+	host  string
+
+	mu      sync.Mutex
+	ports   map[string]*fabric.Endpoint // remote host -> link endpoint
+	qps     map[uint32]*QP
+	mrs     map[uint64]*MR // rkey -> MR
+	nextQPN uint32
+	nextPD  uint32
+	nextKey uint64
+	seed    uint64
+}
+
+// NewNIC creates an adapter for the named host. costs may be nil.
+func NewNIC(clk exec.Clock, host string, costs *costmodel.Costs, seed uint64) *NIC {
+	if costs == nil {
+		costs = &costmodel.Costs{}
+	}
+	return &NIC{
+		clk:   clk,
+		costs: costs,
+		host:  host,
+		ports: make(map[string]*fabric.Endpoint),
+		qps:   make(map[uint32]*QP),
+		mrs:   make(map[uint64]*MR),
+		seed:  seed | 1,
+	}
+}
+
+// AddPort wires a fabric endpoint leading to remoteHost into this NIC and
+// installs the receive pipeline on it.
+func (n *NIC) AddPort(remoteHost string, ep *fabric.Endpoint) {
+	n.mu.Lock()
+	n.ports[remoteHost] = ep
+	n.mu.Unlock()
+	ep.SetHandler(n.onFrame)
+}
+
+// AllocPD creates a protection domain.
+func (n *NIC) AllocPD() *PD {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.nextPD++
+	return &PD{nic: n, id: n.nextPD}
+}
+
+func (n *NIC) newRKey() uint64 {
+	n.nextKey++
+	z := n.seed + n.nextKey*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	return z ^ (z >> 31)
+}
+
+// RegisterBytes registers a flat buffer (e.g. a socket ring copy).
+func (pd *PD) RegisterBytes(buf []byte) *MR {
+	n := pd.nic
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	m := &MR{pd: pd, rkey: n.newRKey(), size: int64(len(buf)), buf: buf}
+	n.mrs[m.rkey] = m
+	return m
+}
+
+// RegisterFrames registers a pinned page pool (zero-copy receive, §4.3).
+// The frames must already be pinned by the caller.
+func (pd *PD) RegisterFrames(pm *mem.PhysMem, pages []mem.PageID) *MR {
+	n := pd.nic
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	m := &MR{
+		pd:    pd,
+		rkey:  n.newRKey(),
+		size:  int64(len(pages)) * mem.PageSize,
+		pm:    pm,
+		pages: pages,
+	}
+	n.mrs[m.rkey] = m
+	return m
+}
+
+// SwapFrame repoints one page of a frame-backed MR (receiver-side pool
+// replenishment: a received page leaves the pool and a fresh pinned page
+// takes its slot).
+func (m *MR) SwapFrame(idx int, id mem.PageID) {
+	if m.pages != nil && idx >= 0 && idx < len(m.pages) {
+		m.pages[idx] = id
+	}
+}
+
+// Deregister removes an MR.
+func (n *NIC) Deregister(m *MR) {
+	n.mu.Lock()
+	delete(n.mrs, m.rkey)
+	n.mu.Unlock()
+}
+
+// QPCount reports live QPs (tests).
+func (n *NIC) QPCount() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.qps)
+}

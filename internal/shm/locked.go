@@ -1,0 +1,49 @@
+package shm
+
+import "sync"
+
+// LockedRing wraps a Ring with a mutex on every operation. It exists as
+// the Table 2 comparator ("Atomic shared memory queue"): the paper shows a
+// queue protected per-operation has ~4x the latency and ~22% of the
+// throughput of the lockless queue, which motivates token-based sharing
+// (§4.1) instead of per-FD locks. It also makes the ring safe for multiple
+// producers and consumers, which is exactly how the kernel-socket baseline
+// shares its buffers.
+type LockedRing struct {
+	mu sync.Mutex
+	r  *Ring
+}
+
+// NewLockedRing allocates a mutex-protected ring.
+func NewLockedRing(capacity int) *LockedRing {
+	return &LockedRing{r: NewRing(capacity)}
+}
+
+// TrySend enqueues one message under the lock.
+func (l *LockedRing) TrySend(typ, flags uint8, payload []byte) bool {
+	l.mu.Lock()
+	ok := l.r.TrySend(typ, flags, payload)
+	l.mu.Unlock()
+	return ok
+}
+
+// TryRecv dequeues one message under the lock, copying the payload out
+// (the view cannot safely alias ring memory once the lock is dropped).
+func (l *LockedRing) TryRecv(buf []byte) (Msg, bool) {
+	l.mu.Lock()
+	m, ok := l.r.TryRecv()
+	if ok {
+		n := copy(buf, m.Payload)
+		m.Payload = buf[:n]
+	}
+	l.mu.Unlock()
+	return m, ok
+}
+
+// CanRecv reports whether a message is pending.
+func (l *LockedRing) CanRecv() bool {
+	l.mu.Lock()
+	ok := l.r.CanRecv()
+	l.mu.Unlock()
+	return ok
+}

@@ -1,0 +1,380 @@
+// Package tcpstack is a compact but real TCP implementation over the
+// simulated fabric: three-way handshake with options (the hook SocksDirect
+// uses for capability detection, §4.5.3), sequenced byte streams, go-back-N
+// retransmission, flow control by receive-buffer backpressure, FIN/RST
+// teardown, and TCP connection repair (the mechanism the monitor uses to
+// hand an established kernel connection to an application).
+//
+// The same stack runs in two modes. ModeKernel charges kernel crossings,
+// buffer management, interrupt latency and the global TCB lock — it is the
+// transport under the Linux-socket baseline. ModeUser charges only
+// protocol costs — it is the transport under the LibVMA-like baseline and
+// anything else that runs TCP in user space over a kernel-bypass NIC.
+package tcpstack
+
+import (
+	"errors"
+	"sync"
+
+	"socksdirect/internal/exec"
+	"socksdirect/internal/host"
+)
+
+// MSS is the maximum segment payload.
+const MSS = 1460
+
+// Timeouts and sizes.
+const (
+	rto         = 1_000_000 // 1 ms retransmission timeout
+	maxRetries  = 30
+	windowSegs  = 64         // go-back-N window, segments
+	recvBufCap  = 256 * 1024 // bytes buffered before backpressure drops
+	headerBytes = 40         // IP+TCP header for wire accounting
+)
+
+// Mode selects the cost profile.
+type Mode int
+
+// Stack modes.
+const (
+	ModeKernel Mode = iota
+	ModeUser
+)
+
+// Segment flags.
+const (
+	FSYN uint8 = 1 << iota
+	FACK
+	FFIN
+	FRST
+)
+
+// Segment is one TCP segment on the simulated wire.
+type Segment struct {
+	SrcHost, DstHost string
+	SrcPort, DstPort uint16
+	Seq, Ack         uint64
+	Flags            uint8
+	Options          []byte
+	Payload          []byte
+}
+
+// Errors.
+var (
+	ErrRefused   = errors.New("tcpstack: connection refused")
+	ErrReset     = errors.New("tcpstack: connection reset by peer")
+	ErrTimeout   = errors.New("tcpstack: connection timed out")
+	ErrClosed    = errors.New("tcpstack: use of closed connection")
+	ErrPortInUse = errors.New("tcpstack: port already in use")
+)
+
+type connKey struct {
+	localPort  uint16
+	remoteHost string
+	remotePort uint16
+}
+
+// Stack is one host's TCP instance.
+type Stack struct {
+	h     *host.Host
+	mode  Mode
+	proto string
+
+	mu        sync.Mutex
+	listeners map[uint16]*Listener
+	conns     map[connKey]*Conn
+	nextPort  uint16
+	synFilter func(*Segment) bool
+	rawPorts  map[uint16]func(*Segment)
+	tcbLock   *host.SimLock
+}
+
+// New creates a stack and registers it with the host kernel under the
+// given protocol family name ("tcp" for the kernel stack).
+func New(h *host.Host, mode Mode, proto string) *Stack {
+	st := &Stack{
+		h:         h,
+		mode:      mode,
+		proto:     proto,
+		listeners: make(map[uint16]*Listener),
+		conns:     make(map[connKey]*Conn),
+		rawPorts:  make(map[uint16]func(*Segment)),
+		nextPort:  32768,
+		tcbLock:   &host.SimLock{},
+	}
+	h.Kern.RegisterProto(proto, st.rx)
+	return st
+}
+
+// SetSynFilter installs a raw-socket-style hook that sees every SYN before
+// the stack does; returning true swallows the segment (the monitor's
+// special-option handshake — and because the stack never sees a swallowed
+// SYN, no RST is generated, which models the paper's iptables rule).
+func (st *Stack) SetSynFilter(fn func(*Segment) bool) {
+	st.mu.Lock()
+	st.synFilter = fn
+	st.mu.Unlock()
+}
+
+// RegisterRawPort claims a local port: every segment addressed to it is
+// handed to fn instead of the normal state machine (the monitor's raw
+// socket listening for special-option handshakes, §4.5.3).
+func (st *Stack) RegisterRawPort(port uint16, fn func(*Segment)) {
+	st.mu.Lock()
+	st.rawPorts[port] = fn
+	st.mu.Unlock()
+}
+
+// UnregisterRawPort releases a raw port claim (after a probe resolves,
+// so an ensuing repaired connection can use the port normally).
+func (st *Stack) UnregisterRawPort(port uint16) {
+	st.mu.Lock()
+	delete(st.rawPorts, port)
+	st.mu.Unlock()
+}
+
+// Inject transmits an arbitrary segment (the monitor's raw socket).
+func (st *Stack) Inject(seg *Segment) {
+	seg.SrcHost = st.h.Name
+	st.send(seg)
+}
+
+func (st *Stack) send(seg *Segment) {
+	if seg.SrcHost == "" {
+		seg.SrcHost = st.h.Name
+	}
+	st.h.Kern.NetSend(st.proto, seg.DstHost, seg, len(seg.Payload)+headerBytes)
+}
+
+// rx is the NIC receive path (interrupt/timer context). Kernel mode defers
+// the work by the interrupt-handling latency.
+func (st *Stack) rx(src string, frame any) {
+	seg, ok := frame.(*Segment)
+	if !ok {
+		return
+	}
+	if st.mode == ModeKernel {
+		st.h.Clk.After(st.h.Costs.InterruptHandle, func() { st.process(seg) })
+		return
+	}
+	st.process(seg)
+}
+
+func (st *Stack) process(seg *Segment) {
+	st.mu.Lock()
+	raw := st.rawPorts[seg.DstPort]
+	st.mu.Unlock()
+	if raw != nil {
+		raw(seg)
+		return
+	}
+	if seg.Flags&FSYN != 0 && seg.Flags&FACK == 0 {
+		st.mu.Lock()
+		filter := st.synFilter
+		st.mu.Unlock()
+		if filter != nil && filter(seg) {
+			return
+		}
+		st.onSyn(seg)
+		return
+	}
+	key := connKey{seg.DstPort, seg.SrcHost, seg.SrcPort}
+	st.mu.Lock()
+	c := st.conns[key]
+	st.mu.Unlock()
+	if c == nil {
+		if seg.Flags&FRST == 0 {
+			st.send(&Segment{
+				DstHost: seg.SrcHost, SrcPort: seg.DstPort, DstPort: seg.SrcPort,
+				Flags: FRST | FACK, Ack: seg.Seq + uint64(len(seg.Payload)),
+			})
+		}
+		return
+	}
+	c.onSegment(seg)
+}
+
+// Listener accepts inbound connections on a port.
+type Listener struct {
+	st      *Stack
+	port    uint16
+	mu      sync.Mutex
+	backlog []*Conn
+	wq      host.WaitQ
+	closed  bool
+	// OptsFn computes SYN-ACK options from the client's SYN options
+	// (capability echo, §4.5.3). May be nil.
+	OptsFn func(synOpts []byte) []byte
+	// Notify, when set, fires after a connection lands in the backlog
+	// (lets a parked monitor daemon wake without polling).
+	Notify func()
+}
+
+// Listen binds a port. Port 0 picks an ephemeral one.
+func (st *Stack) Listen(port uint16) (*Listener, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if port == 0 {
+		port = st.allocPortLocked()
+	}
+	if _, ok := st.listeners[port]; ok {
+		return nil, ErrPortInUse
+	}
+	l := &Listener{st: st, port: port}
+	st.listeners[port] = l
+	return l, nil
+}
+
+func (st *Stack) allocPortLocked() uint16 {
+	for {
+		st.nextPort++
+		if st.nextPort == 0 {
+			st.nextPort = 32768
+		}
+		if _, ok := st.listeners[st.nextPort]; !ok {
+			return st.nextPort
+		}
+	}
+}
+
+// Port returns the bound port.
+func (l *Listener) Port() uint16 { return l.port }
+
+// Accept blocks until a connection completes the handshake.
+func (l *Listener) Accept(ctx exec.Context) (*Conn, error) {
+	if l.st.mode == ModeKernel {
+		l.st.h.Kern.Syscall(ctx)
+	}
+	for {
+		l.mu.Lock()
+		if len(l.backlog) > 0 {
+			c := l.backlog[0]
+			l.backlog = l.backlog[:copy(l.backlog, l.backlog[1:])]
+			l.mu.Unlock()
+			return c, nil
+		}
+		closed := l.closed
+		l.mu.Unlock()
+		if closed {
+			return nil, ErrClosed
+		}
+		l.wq.Wait(ctx, func() bool {
+			l.mu.Lock()
+			defer l.mu.Unlock()
+			return len(l.backlog) > 0 || l.closed
+		})
+	}
+}
+
+// Pending reports queued connections (work-stealing checks).
+func (l *Listener) Pending() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.backlog)
+}
+
+// Close stops the listener.
+func (l *Listener) Close() {
+	l.mu.Lock()
+	l.closed = true
+	l.mu.Unlock()
+	l.wq.Wake(l.st.h.Clk, 0)
+	l.st.mu.Lock()
+	delete(l.st.listeners, l.port)
+	l.st.mu.Unlock()
+}
+
+func (st *Stack) onSyn(seg *Segment) {
+	st.mu.Lock()
+	l := st.listeners[seg.DstPort]
+	st.mu.Unlock()
+	if l == nil {
+		st.send(&Segment{
+			DstHost: seg.SrcHost, SrcPort: seg.DstPort, DstPort: seg.SrcPort,
+			Flags: FRST | FACK, Ack: seg.Seq + 1,
+		})
+		return
+	}
+	key := connKey{seg.DstPort, seg.SrcHost, seg.SrcPort}
+	st.mu.Lock()
+	if _, dup := st.conns[key]; dup {
+		st.mu.Unlock()
+		return // retransmitted SYN
+	}
+	c := newConn(st, key, stSynRcvd)
+	c.rcvNxt = seg.Seq + 1
+	c.synOpts = seg.Options
+	c.listener = l
+	st.conns[key] = c
+	st.mu.Unlock()
+	var opts []byte
+	if l.OptsFn != nil {
+		opts = l.OptsFn(seg.Options)
+	}
+	c.mu.Lock()
+	c.sendSegLocked(&Segment{Flags: FSYN | FACK, Options: opts}, 1)
+	c.mu.Unlock()
+}
+
+// Connect opens a connection carrying opts in the SYN.
+func (st *Stack) Connect(ctx exec.Context, remoteHost string, remotePort uint16, opts []byte) (*Conn, error) {
+	if st.mode == ModeKernel {
+		st.h.Kern.Syscall(ctx)
+		ctx.Charge(st.h.Costs.KernelFDAlloc)
+	}
+	st.mu.Lock()
+	key := connKey{st.allocEphemeralLocked(remoteHost, remotePort), remoteHost, remotePort}
+	c := newConn(st, key, stSynSent)
+	st.conns[key] = c
+	st.mu.Unlock()
+	c.mu.Lock()
+	c.sendSegLocked(&Segment{Flags: FSYN, Options: opts}, 1)
+	c.mu.Unlock()
+	// Wait for the handshake to finish.
+	c.hq.Wait(ctx, func() bool {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return c.state == stEstablished || c.err != nil
+	})
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err != nil {
+		return nil, c.err
+	}
+	return c, nil
+}
+
+func (st *Stack) allocEphemeralLocked(rhost string, rport uint16) uint16 {
+	for {
+		st.nextPort++
+		if st.nextPort == 0 {
+			st.nextPort = 32768
+		}
+		if _, ok := st.conns[connKey{st.nextPort, rhost, rport}]; !ok {
+			return st.nextPort
+		}
+	}
+}
+
+// Repair creates an already-established connection with chosen sequence
+// state — TCP connection repair (§4.5.3): the monitor hands a live kernel
+// connection to an application without a wire handshake. Both ends must
+// call it with mirrored arguments.
+func (st *Stack) Repair(localPort uint16, remoteHost string, remotePort uint16, sndNxt, rcvNxt uint64) (*Conn, error) {
+	key := connKey{localPort, remoteHost, remotePort}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if _, dup := st.conns[key]; dup {
+		return nil, ErrPortInUse
+	}
+	c := newConn(st, key, stEstablished)
+	c.sndNxt, c.sndUna, c.rcvNxt = sndNxt, sndNxt, rcvNxt
+	st.conns[key] = c
+	return c, nil
+}
+
+func (st *Stack) dropConn(key connKey) {
+	st.mu.Lock()
+	delete(st.conns, key)
+	st.mu.Unlock()
+}

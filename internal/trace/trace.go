@@ -1,0 +1,232 @@
+// Package trace provides the measurement plumbing for the benchmark
+// harness: log-bucketed latency histograms with percentile extraction,
+// throughput accumulators, and simple fixed-width table/series renderers
+// used by cmd/sdbench to print paper-style output.
+package trace
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Histogram records latency samples in nanoseconds. It keeps exact samples
+// up to a cap and falls back to log-scale buckets beyond it, which is
+// plenty for percentile reporting.
+type Histogram struct {
+	samples []int64
+	sorted  bool
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram { return &Histogram{} }
+
+// Record adds one sample.
+func (h *Histogram) Record(ns int64) {
+	h.samples = append(h.samples, ns)
+	h.sorted = false
+}
+
+// Count returns the number of recorded samples.
+func (h *Histogram) Count() int { return len(h.samples) }
+
+func (h *Histogram) sort() {
+	if !h.sorted {
+		sort.Slice(h.samples, func(i, j int) bool { return h.samples[i] < h.samples[j] })
+		h.sorted = true
+	}
+}
+
+// Percentile returns the p-th percentile (0 < p <= 100) in nanoseconds.
+func (h *Histogram) Percentile(p float64) int64 {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	h.sort()
+	idx := int(math.Ceil(p/100*float64(len(h.samples)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(h.samples) {
+		idx = len(h.samples) - 1
+	}
+	return h.samples[idx]
+}
+
+// Mean returns the arithmetic mean in nanoseconds.
+func (h *Histogram) Mean() float64 {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	var sum int64
+	for _, s := range h.samples {
+		sum += s
+	}
+	return float64(sum) / float64(len(h.samples))
+}
+
+// Min and Max return the extremes.
+func (h *Histogram) Min() int64 {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	h.sort()
+	return h.samples[0]
+}
+
+func (h *Histogram) Max() int64 {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	h.sort()
+	return h.samples[len(h.samples)-1]
+}
+
+// Summary formats mean with 1%/99% percentiles, the paper's latency style.
+func (h *Histogram) Summary() string {
+	return fmt.Sprintf("mean=%s p1=%s p99=%s",
+		Nanos(int64(h.Mean())), Nanos(h.Percentile(1)), Nanos(h.Percentile(99)))
+}
+
+// Nanos renders a nanosecond quantity with an adaptive unit.
+func Nanos(ns int64) string {
+	switch {
+	case ns >= 1e9:
+		return fmt.Sprintf("%.2fs", float64(ns)/1e9)
+	case ns >= 1e6:
+		return fmt.Sprintf("%.2fms", float64(ns)/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%.2fus", float64(ns)/1e3)
+	default:
+		return fmt.Sprintf("%dns", ns)
+	}
+}
+
+// Rate renders an operations-per-second quantity the way the paper does
+// (M op/s, K op/s).
+func Rate(opsPerSec float64) string {
+	switch {
+	case opsPerSec >= 1e6:
+		return fmt.Sprintf("%.1f M op/s", opsPerSec/1e6)
+	case opsPerSec >= 1e3:
+		return fmt.Sprintf("%.1f K op/s", opsPerSec/1e3)
+	default:
+		return fmt.Sprintf("%.1f op/s", opsPerSec)
+	}
+}
+
+// Gbps renders a throughput in gigabits per second.
+func Gbps(bytesPerSec float64) string {
+	return fmt.Sprintf("%.2f Gbps", bytesPerSec*8/1e9)
+}
+
+// Table is a fixed-width text table builder.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// Add appends a row.
+func (t *Table) Add(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// String renders the table.
+func (t *Table) String() string {
+	cols := len(t.Header)
+	width := make([]int, cols)
+	for i, hc := range t.Header {
+		width[i] = len(hc)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < cols && len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	}
+	line := func(cells []string) {
+		for i := 0; i < cols; i++ {
+			c := ""
+			if i < len(cells) {
+				c = cells[i]
+			}
+			fmt.Fprintf(&b, "%-*s", width[i]+2, c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	sep := make([]string, cols)
+	for i := range sep {
+		sep[i] = strings.Repeat("-", width[i])
+	}
+	line(sep)
+	for _, r := range t.Rows {
+		line(r)
+	}
+	return b.String()
+}
+
+// Series is a labelled (x, y) sequence for figure-style output.
+type Series struct {
+	Name   string
+	X      []float64
+	Y      []float64
+	XLabel string
+	YLabel string
+}
+
+// Add appends a point.
+func (s *Series) Add(x, y float64) {
+	s.X = append(s.X, x)
+	s.Y = append(s.Y, y)
+}
+
+// RenderFigure prints multiple series as an aligned data block (one row
+// per x value, one column per series), easy to eyeball and to plot.
+func RenderFigure(title, xLabel string, xs []float64, series []*Series, yFmt func(float64) string) string {
+	t := &Table{Title: title, Header: append([]string{xLabel}, names(series)...)}
+	for i, x := range xs {
+		row := []string{trimFloat(x)}
+		for _, s := range series {
+			if i < len(s.Y) {
+				row = append(row, yFmt(s.Y[i]))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		t.Add(row...)
+	}
+	return t.String()
+}
+
+func names(series []*Series) []string {
+	out := make([]string, len(series))
+	for i, s := range series {
+		out[i] = s.Name
+	}
+	return out
+}
+
+func trimFloat(x float64) string {
+	if x == math.Trunc(x) && math.Abs(x) < 1e15 {
+		return fmt.Sprintf("%d", int64(x))
+	}
+	return fmt.Sprintf("%g", x)
+}
+
+// SizeLabel renders a byte count like the paper's x axes (8B, 64B, 4K, 1M).
+func SizeLabel(n int) string {
+	switch {
+	case n >= 1<<20 && n%(1<<20) == 0:
+		return fmt.Sprintf("%dM", n>>20)
+	case n >= 1<<10 && n%(1<<10) == 0:
+		return fmt.Sprintf("%dK", n>>10)
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}

@@ -1,0 +1,403 @@
+// Package socksdirect is the public face of this SocksDirect
+// reproduction: a user-space socket system that is compatible with
+// POSIX-style socket semantics, isolated by a per-host trusted monitor,
+// and fast — shared-memory ring buffers intra-host, one-sided RDMA writes
+// inter-host, token-based lock-free socket sharing, and page-remapping
+// zero copy (Li et al., SIGCOMM 2019).
+//
+// Everything runs inside a simulated cluster: build one with NewCluster,
+// add hosts and processes, spawn threads, then Run the cluster. Threads
+// receive a *T — their execution context — whose methods mirror the socket
+// API (Listen, Dial, Accept, Send, Recv, Epoll, Fork...). Two execution
+// modes exist: the default deterministic virtual-time mode (reproducible,
+// models N cores on one machine) and wall-clock mode.
+//
+// A minimal session:
+//
+//	cl := socksdirect.NewCluster(socksdirect.Defaults())
+//	h := cl.AddHost("alpha")
+//	srv := h.NewProcess("server", 0)
+//	cli := h.NewProcess("client", 1000)
+//	srv.Go("main", func(t *socksdirect.T) {
+//	    ln, _ := t.Listen(80)
+//	    c, _ := ln.Accept()
+//	    buf := make([]byte, 64)
+//	    n, _ := c.Recv(buf)
+//	    c.Send(buf[:n])
+//	})
+//	cli.Go("main", func(t *socksdirect.T) {
+//	    t.Sleep(10 * socksdirect.Microsecond)
+//	    c, _ := t.Dial("alpha", 80)
+//	    c.Send([]byte("ping"))
+//	})
+//	cl.Run()
+package socksdirect
+
+import (
+	"errors"
+	"io"
+
+	"socksdirect/internal/core"
+	"socksdirect/internal/costmodel"
+	"socksdirect/internal/exec"
+	"socksdirect/internal/host"
+	"socksdirect/internal/ksocket"
+	"socksdirect/internal/mem"
+	"socksdirect/internal/monitor"
+)
+
+// Time units for T.Sleep and friends (nanoseconds).
+const (
+	Nanosecond  int64 = 1
+	Microsecond int64 = 1000
+	Millisecond int64 = 1000 * 1000
+	Second      int64 = 1000 * 1000 * 1000
+)
+
+// Re-exported sentinels.
+var (
+	ErrDenied     = core.ErrDenied
+	ErrNoListener = core.ErrNoListener
+	ErrPeerDead   = core.ErrPeerDead
+	EOF           = io.EOF
+)
+
+// Config selects the cluster's execution mode and cost calibration.
+type Config struct {
+	// RealTime switches from the deterministic virtual-time scheduler to
+	// wall-clock goroutines.
+	RealTime bool
+	// Costs calibrates the simulated hardware; nil means the paper-derived
+	// default table.
+	Costs *costmodel.Costs
+	// Seed drives every deterministic random choice (tokens, obfuscation).
+	Seed uint64
+}
+
+// Defaults returns the standard virtual-time configuration.
+func Defaults() Config { return Config{Costs: &costmodel.Default, Seed: 1} }
+
+// Cluster is a set of simulated hosts under one scheduler.
+type Cluster struct {
+	cfg   Config
+	sim   *exec.Sim
+	real  *exec.Real
+	rt    exec.Runtime
+	hosts map[string]*Host
+	seedN uint64
+}
+
+// NewCluster builds an empty cluster.
+func NewCluster(cfg Config) *Cluster {
+	if cfg.Costs == nil {
+		cfg.Costs = &costmodel.Default
+	}
+	c := &Cluster{cfg: cfg, hosts: make(map[string]*Host)}
+	if cfg.RealTime {
+		c.real, _ = exec.NewReal(exec.RealConfig{})
+		c.rt = c.real
+	} else {
+		c.sim = exec.NewSim(exec.SimConfig{})
+		c.rt = c.sim
+	}
+	return c
+}
+
+// Host is one machine in the cluster.
+type Host struct {
+	cl  *Cluster
+	H   *host.Host
+	KS  *ksocket.Stack
+	Mon *monitor.Monitor
+}
+
+// AddHost creates a SocksDirect-capable host (kernel stack + monitor) and
+// links it to every existing host.
+func (c *Cluster) AddHost(name string) *Host {
+	h := c.addBareHost(name)
+	h.Mon = monitor.Start(h.H, h.KS)
+	return h
+}
+
+// AddLegacyHost creates a host without a monitor: a regular TCP/IP peer
+// (the fallback-path experiments need one).
+func (c *Cluster) AddLegacyHost(name string) *Host {
+	return c.addBareHost(name)
+}
+
+func (c *Cluster) addBareHost(name string) *Host {
+	c.seedN++
+	hh := host.New(name, c.rt, c.cfg.Costs, c.cfg.Seed*1315423911+c.seedN)
+	h := &Host{cl: c, H: hh, KS: ksocket.New(hh)}
+	for _, other := range c.hosts {
+		host.Connect(hh, other.H, host.LinkConfig(c.cfg.Costs, int64(c.cfg.Seed+c.seedN)))
+	}
+	c.hosts[name] = h
+	return h
+}
+
+// PeerMonitors pre-establishes the monitor RDMA channel between two hosts,
+// skipping the capability probe (benchmarks use this; the probe path stays
+// covered by tests).
+func PeerMonitors(a, b *Host) { monitor.Peer(a.Mon, b.Mon) }
+
+// Sim exposes the underlying discrete-event scheduler (nil in real-time
+// mode) for harnesses that need raw thread spawning or the global clock.
+func (c *Cluster) Sim() *exec.Sim { return c.sim }
+
+// Run executes the cluster until quiescent (virtual-time mode) and returns
+// the final virtual time in nanoseconds. In real-time mode it returns
+// immediately; use real goroutine coordination instead.
+func (c *Cluster) Run() int64 {
+	if c.sim != nil {
+		return c.sim.Run()
+	}
+	return 0
+}
+
+// Process is an application process with libsd loaded.
+type Process struct {
+	h   *Host
+	P   *host.Process
+	Lib *core.Libsd
+}
+
+// NewProcess creates a process (uid feeds the monitor's access policy).
+// It panics if the host has no monitor — use the host's kernel sockets
+// (Host.KS) on legacy hosts instead.
+func (h *Host) NewProcess(name string, uid int) *Process {
+	p := h.H.NewProcess(name, uid)
+	lib, err := core.Init(p)
+	if err != nil {
+		panic("socksdirect: " + err.Error())
+	}
+	return &Process{h: h, P: p, Lib: lib}
+}
+
+// T is a thread's execution handle: the socket API surface.
+type T struct {
+	Ctx exec.Context
+	Th  *host.Thread
+	Pr  *Process
+}
+
+// Go spawns a thread on a fresh simulated core.
+func (p *Process) Go(name string, fn func(*T)) *host.Thread {
+	return p.P.Spawn(name, func(ctx exec.Context, th *host.Thread) {
+		fn(&T{Ctx: ctx, Th: th, Pr: p})
+	})
+}
+
+// GoOn spawns a thread pinned to a specific core (cores are shared
+// cooperatively; see Figure 10).
+func (p *Process) GoOn(core exec.CoreID, name string, fn func(*T)) *host.Thread {
+	return p.P.SpawnOn(core, name, func(ctx exec.Context, th *host.Thread) {
+		fn(&T{Ctx: ctx, Th: th, Pr: p})
+	})
+}
+
+// Sleep advances this thread's clock without occupying its core.
+func (t *T) Sleep(ns int64) { t.Ctx.Sleep(ns) }
+
+// Yield cooperatively gives up the core.
+func (t *T) Yield() { t.Ctx.Yield() }
+
+// Now returns the thread's current time in ns.
+func (t *T) Now() int64 { return t.Ctx.Now() }
+
+// Alloc reserves page-aligned simulated memory for zero-copy I/O.
+func (t *T) Alloc(n int) mem.VAddr { return t.Pr.P.AS.Alloc(n) }
+
+// WriteMem / ReadMem access simulated memory (the app's buffers).
+func (t *T) WriteMem(addr mem.VAddr, data []byte) error {
+	return t.Pr.P.AS.Write(t.Ctx, addr, data)
+}
+
+func (t *T) ReadMem(addr mem.VAddr, out []byte) error {
+	return t.Pr.P.AS.Read(addr, out)
+}
+
+// Listener accepts connections on a port.
+type Listener struct {
+	t *T
+	l *core.Listener
+}
+
+// Listen binds a port and registers this thread as a listener. Multiple
+// threads and forked processes may listen on one port.
+func (t *T) Listen(port uint16) (*Listener, error) {
+	l, err := t.Pr.Lib.ListenOn(t.Ctx, t.Th, port)
+	if err != nil {
+		return nil, err
+	}
+	return &Listener{t: t, l: l}, nil
+}
+
+// Accept blocks for the next dispatched connection.
+func (l *Listener) Accept() (*Conn, error) {
+	s, kf, err := l.l.Accept(l.t.Ctx)
+	if err != nil {
+		return nil, err
+	}
+	return &Conn{t: l.t, sock: s, kf: kf}, nil
+}
+
+// Pending reports queued connections on this thread's backlog.
+func (l *Listener) Pending() int { return l.l.Pending() }
+
+// Close unregisters the listener.
+func (l *Listener) Close() { l.l.Close(l.t.Ctx) }
+
+// FD returns the listener's descriptor.
+func (l *Listener) FD() int { return l.l.FD() }
+
+// Conn is a connected socket: a user-space SocksDirect socket, or a
+// kernel TCP connection when the peer required the fallback path. The API
+// is identical either way — that is the compatibility story.
+type Conn struct {
+	t    *T
+	sock *core.Socket
+	kf   host.KFile
+}
+
+// Dial connects to (host, port); the monitor picks SHM, RDMA or kernel
+// TCP transparently.
+func (t *T) Dial(hostName string, port uint16) (*Conn, error) {
+	s, kf, err := t.Pr.Lib.Connect(t.Ctx, t.Th, hostName, port)
+	if err != nil {
+		return nil, err
+	}
+	return &Conn{t: t, sock: s, kf: kf}, nil
+}
+
+// Fallback reports whether this connection runs over kernel TCP.
+func (c *Conn) Fallback() bool { return c.sock == nil }
+
+// FD returns the socket's descriptor in the libsd FD space (fallback
+// connections report -1; their number lives in the kernel table).
+func (c *Conn) FD() int {
+	if c.sock != nil {
+		return c.sock.FD()
+	}
+	return -1
+}
+
+// WithT rebinds the connection to another thread (socket sharing across
+// threads; the token machinery arbitrates, §4.1).
+func (c *Conn) WithT(t *T) *Conn { return &Conn{t: t, sock: c.sock, kf: c.kf} }
+
+// Send writes the whole buffer (blocking).
+func (c *Conn) Send(b []byte) (int, error) {
+	if c.sock != nil {
+		return c.sock.Send(c.t.Ctx, c.t.Th, b)
+	}
+	return c.kf.Write(c.t.Ctx, b)
+}
+
+// Recv reads at least one byte (blocking); io.EOF after peer close.
+func (c *Conn) Recv(b []byte) (int, error) {
+	if c.sock != nil {
+		return c.sock.Recv(c.t.Ctx, c.t.Th, b)
+	}
+	return c.kf.Read(c.t.Ctx, b)
+}
+
+// RecvFull reads exactly len(b) bytes.
+func (c *Conn) RecvFull(b []byte) (int, error) {
+	got := 0
+	for got < len(b) {
+		n, err := c.Recv(b[got:])
+		got += n
+		if err != nil {
+			return got, err
+		}
+	}
+	return got, nil
+}
+
+// SendVA transmits from simulated memory; payloads of 16 KiB and larger
+// move by page remapping / NIC scatter instead of copying (§4.3).
+func (c *Conn) SendVA(addr mem.VAddr, n int) (int, error) {
+	if c.sock == nil {
+		return 0, errors.New("socksdirect: zero copy unavailable on fallback connections")
+	}
+	return c.sock.SendVA(c.t.Ctx, c.t.Th, addr, n)
+}
+
+// RecvVA receives into simulated memory, remapping when possible.
+func (c *Conn) RecvVA(addr mem.VAddr, n int) (int, error) {
+	if c.sock == nil {
+		return 0, errors.New("socksdirect: zero copy unavailable on fallback connections")
+	}
+	return c.sock.RecvVA(c.t.Ctx, c.t.Th, addr, n)
+}
+
+// Close drops this reference; the last reference runs the shutdown
+// handshake (§4.5.4).
+func (c *Conn) Close() error {
+	if c.sock != nil {
+		return c.sock.Close(c.t.Ctx, c.t.Th)
+	}
+	return c.kf.Close(c.t.Ctx)
+}
+
+// Readable reports whether Recv would not block (poll hook).
+func (c *Conn) Readable() bool {
+	if c.sock != nil {
+		return c.sock.Readable()
+	}
+	return c.kf.Readable()
+}
+
+// Fork forks the calling process libsd-style: existing sockets stay
+// shared, the child re-establishes RDMA lazily, tokens stay with the
+// parent (§4.1.2). It returns the child process handle.
+func (t *T) Fork(name string) (*Process, error) {
+	child, lib, err := t.Pr.Lib.Fork(t.Ctx, t.Th, name)
+	if err != nil {
+		return nil, err
+	}
+	return &Process{h: t.Pr.h, P: child, Lib: lib}, nil
+}
+
+// SocketByFD rebinds an inherited descriptor in (typically) a forked
+// child.
+func (t *T) SocketByFD(fd int) (*Conn, error) {
+	s, err := t.Pr.Lib.SocketByFD(fd)
+	if err != nil {
+		kf, kerr := t.Pr.Lib.KernelFile(fd)
+		if kerr != nil {
+			return nil, err
+		}
+		return &Conn{t: t, kf: kf}, nil
+	}
+	return &Conn{t: t, sock: s}, nil
+}
+
+// Epoll creates an event multiplexer over libsd sockets and kernel FDs.
+func (t *T) Epoll() *Epoll { return &Epoll{t: t, ep: t.Pr.Lib.NewEpoll()} }
+
+// Epoll wraps the libsd epoll object.
+type Epoll struct {
+	t  *T
+	ep *core.Epoll
+}
+
+// Event re-exports the core event type.
+type Event = core.Event
+
+// Epoll interest flags.
+const (
+	EPOLLIN  = core.EPOLLIN
+	EPOLLOUT = core.EPOLLOUT
+	EPOLLHUP = core.EPOLLHUP
+)
+
+// Add registers interest.
+func (e *Epoll) Add(fd int, events uint32) error { return e.ep.Add(fd, events) }
+
+// Del removes interest.
+func (e *Epoll) Del(fd int) { e.ep.Del(fd) }
+
+// Wait blocks for at least one event.
+func (e *Epoll) Wait(events []Event) (int, error) { return e.ep.Wait(e.t.Ctx, events) }
