@@ -13,20 +13,38 @@
 //	sdbench connscale   §6: connections per second
 //	sdbench ablate      design ablations (token sharing, batching, zero copy)
 //	sdbench all         everything above
+//	sdbench stats [experiment...]
+//	                    run the experiments (default: table2) and dump the
+//	                    full telemetry registry afterwards
+//
+// Flags (before the subcommand):
+//
+//	-trace out.json     record structured trace events during the run and
+//	                    write them as Chrome trace_event JSON (open in
+//	                    chrome://tracing or Perfetto)
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"socksdirect/internal/experiments"
+	"socksdirect/internal/telemetry"
 	"socksdirect/internal/trace"
 )
 
 func main() {
+	traceOut := flag.String("trace", "", "write Chrome trace_event JSON of the run to this file")
+	flag.Parse()
+	args := flag.Args()
 	cmd := "all"
-	if len(os.Args) > 1 {
-		cmd = os.Args[1]
+	if len(args) > 0 {
+		cmd = args[0]
+	}
+	if *traceOut != "" {
+		telemetry.EnableTracing()
 	}
 	cmds := map[string]func(){
 		"table2":    table2,
@@ -41,24 +59,82 @@ func main() {
 		"connscale": connscale,
 		"ablate":    ablate,
 	}
-	if cmd == "all" {
-		for _, name := range []string{"table2", "table4", "fig7", "fig8",
-			"fig9", "fig10", "fig11", "fig12", "redis", "connscale", "ablate"} {
+	order := []string{"table2", "table4", "fig7", "fig8",
+		"fig9", "fig10", "fig11", "fig12", "redis", "connscale", "ablate"}
+	switch cmd {
+	case "all":
+		for _, name := range order {
 			cmds[name]()
 			fmt.Println()
 		}
-		return
+	case "stats":
+		stats(args[1:], cmds)
+	default:
+		fn, ok := cmds[cmd]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", cmd)
+			os.Exit(2)
+		}
+		fn()
 	}
-	fn, ok := cmds[cmd]
-	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", cmd)
-		os.Exit(2)
+	if *traceOut != "" {
+		writeTrace(*traceOut)
 	}
-	fn()
+}
+
+// stats runs the named experiments (default table2) and then dumps every
+// non-zero metric in the telemetry registry.
+func stats(names []string, cmds map[string]func()) {
+	if len(names) == 0 {
+		names = []string{"table2"}
+	}
+	for _, name := range names {
+		fn, ok := cmds[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
+			os.Exit(2)
+		}
+		fn()
+		fmt.Println()
+	}
+	fmt.Println("== Telemetry registry (non-zero metrics) ==")
+	fmt.Print(telemetry.Capture().Format(true))
+}
+
+// printDeltas renders the non-zero counter movement of one experiment
+// (quantile keys are point-in-time, not deltas, so they are skipped).
+func printDeltas(title string, d telemetry.Snapshot) {
+	filtered := make(telemetry.Snapshot)
+	for _, k := range d.Keys() {
+		if strings.HasSuffix(k, "/p50") || strings.HasSuffix(k, "/p99") {
+			continue
+		}
+		filtered[k] = d[k]
+	}
+	fmt.Printf("== %s ==\n", title)
+	fmt.Print(filtered.Format(true))
+}
+
+func writeTrace(path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	if err := telemetry.Trace.WriteChrome(f); err != nil {
+		fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d trace events to %s (%d dropped)\n",
+		telemetry.Trace.Len(), path, telemetry.Trace.Dropped())
 }
 
 func table2() {
+	before := telemetry.Capture()
 	fmt.Print(experiments.RenderTable2(experiments.Table2()))
+	fmt.Println()
+	printDeltas("Table 2 counter deltas (whole workload)", telemetry.Capture().Diff(before))
 }
 
 func table4() {

@@ -100,6 +100,7 @@ func (c *Conn) Send(ctx exec.Context, data []byte) (int, error) {
 		ctx.Charge(costs.BufferMgmt)
 		buf := make([]byte, n)
 		copy(buf, data[:n])
+		host.CountCopy(n)
 		ctx.Charge(costs.CopyCost(n))
 		ctx.Charge(costs.RDMAPost)
 		c.nextWRID++
@@ -128,6 +129,7 @@ func (c *Conn) Recv(ctx exec.Context, out []byte) (int, error) {
 	if len(c.pending) > 0 {
 		n := copy(out, c.pending)
 		c.pending = c.pending[n:]
+		host.CountCopy(n)
 		ctx.Charge(costs.CopyCost(n))
 		return n, nil
 	}
@@ -146,6 +148,7 @@ func (c *Conn) Recv(ctx exec.Context, out []byte) (int, error) {
 			if n < e.Len {
 				c.pending = append(c.pending, buf[n:e.Len]...)
 			}
+			host.CountCopy(e.Len)
 			ctx.Charge(costs.CopyCost(e.Len))
 			// Recycle: allocate and re-post a receive buffer.
 			ctx.Charge(costs.BufferMgmt)

@@ -264,6 +264,7 @@ func (l *Libsd) finishAccept(ctx exec.Context, t *host.Thread, pa *pendingAccept
 		if !ok {
 			return nil, nil, ErrBadFD
 		}
+		mTCPFallbacks.Inc()
 		l.installFD(&fdEntry{kind: fdKernel, kf: kf})
 		return nil, kf, nil
 	}
@@ -427,6 +428,7 @@ func (l *Libsd) handleCtl(ctx exec.Context, m *ctlmsg.Msg) {
 			pc.kernelFD = -1
 			pc.status.Store(1)
 		case ctlmsg.TransportTCP:
+			mTCPFallbacks.Inc()
 			pc.kernelFD = int(m.Aux)
 			pc.status.Store(1)
 		}

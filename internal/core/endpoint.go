@@ -131,6 +131,9 @@ func (e *rdmaEP) flush(ctx exec.Context) {
 		return
 	}
 	delta := written - flushed
+	// Batch size in bytes mirrored per flush: with adaptive batching this
+	// grows as the pipeline deepens (§4.2's amortization).
+	mBatchSize.Observe(int64(delta))
 	mask := ring.Mask()
 	capacity := uint64(len(ring.Data()))
 	start := flushed & mask

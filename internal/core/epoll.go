@@ -77,6 +77,7 @@ func (ep *Epoll) Wait(ctx exec.Context, events []Event) (int, error) {
 	l := ep.lib
 	l.enter()
 	defer l.leave()
+	mEpollWaits.Inc()
 	l.epollWaiters.Add(1)
 	defer l.epollWaiters.Add(-1)
 	if l.epollThread != nil && l.epollThread.H != nil {
@@ -166,6 +167,7 @@ func (l *Libsd) startEpollThread() {
 					ctx.Park()
 					continue
 				}
+				mEpollSweeps.Inc()
 				l.H.Kern.Syscall(ctx) // the epoll_wait crossing, once per sweep
 				l.mu.Lock()
 				eps := make([]*Epoll, 0, len(l.epolls))

@@ -82,6 +82,7 @@ func (l *Libsd) Fork(ctx exec.Context, t *host.Thread, name string) (*host.Proce
 	cl.freeFDs = freeFDs
 	cl.mu.Unlock()
 
+	mForkInherits.Add(int64(len(entries)))
 	for fd, e := range entries {
 		switch e.kind {
 		case fdSocket:
@@ -150,6 +151,7 @@ func (f *forkedRdmaEP) materialize(ctx exec.Context) *rdmaEP {
 	tailMR := f.lib.pd.RegisterBytes(side.TailIn)
 	qp := f.lib.pd.CreateQP(f.lib.sendCQ, f.lib.recvCQ)
 	ctx.Charge(f.lib.H.Costs.RDMAQPCreate)
+	mForkReQP.Inc()
 
 	req := ctlmsg.Msg{
 		Kind: ctlmsg.KReQP, QID: side.QID, PID: int64(f.lib.P.PID),

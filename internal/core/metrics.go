@@ -1,0 +1,24 @@
+package core
+
+import "socksdirect/internal/telemetry"
+
+// Package-wide metric handles (resolved once; see internal/telemetry).
+var (
+	mSendOps       = telemetry.C(telemetry.CoreSendOps)
+	mRecvOps       = telemetry.C(telemetry.CoreRecvOps)
+	mSendBytes     = telemetry.C(telemetry.CoreSendBytes)
+	mRecvBytes     = telemetry.C(telemetry.CoreRecvBytes)
+	mTokenFast     = telemetry.C(telemetry.CoreTokenFast)
+	mTokenTakeover = telemetry.C(telemetry.CoreTokenTakeover)
+	mTokenReturns  = telemetry.C(telemetry.CoreTokenReturns)
+	mRecvSleeps    = telemetry.C(telemetry.CoreRecvSleeps)
+	mRecvWakeups   = telemetry.C(telemetry.CoreRecvWakeups)
+	mZCRemaps      = telemetry.C(telemetry.CoreZCRemaps)
+	mZCCopies      = telemetry.C(telemetry.CoreZCCopies)
+	mForkInherits  = telemetry.C(telemetry.CoreForkInherits)
+	mForkReQP      = telemetry.C(telemetry.CoreForkReQP)
+	mEpollWaits    = telemetry.C(telemetry.CoreEpollWaits)
+	mEpollSweeps   = telemetry.C(telemetry.CoreEpollSweeps)
+	mTCPFallbacks  = telemetry.C(telemetry.CoreTCPFallbacks)
+	mBatchSize     = telemetry.D(telemetry.ShmBatchSize)
+)

@@ -8,6 +8,7 @@ import (
 	"socksdirect/internal/exec"
 	"socksdirect/internal/host"
 	"socksdirect/internal/shm"
+	"socksdirect/internal/telemetry"
 )
 
 // maxInline is the largest chunk sent through the ring as bytes; larger
@@ -59,10 +60,16 @@ func (s *Socket) acquireToken(ctx exec.Context, t *host.Thread, dir int) error {
 		h := holder.Load()
 		if h == me {
 			// Fast path: one atomic load is the whole synchronization.
+			mTokenFast.Inc()
 			return nil
 		}
 		if h == 0 && holder.CompareAndSwap(0, me) {
 			return nil // unowned (returned or never claimed): grab it
+		}
+		mTokenTakeover.Inc()
+		if telemetry.Trace.Enabled() {
+			telemetry.Trace.Emit(ctx.Now(), "core", "token_takeover",
+				telemetry.A("qid", int64(s.side.QID)), telemetry.A("dir", int64(dir)))
 		}
 		// Slow path: ask the monitor to arbitrate (§4.1.1). FIFO and
 		// starvation-free: the monitor keeps the (deduplicated) waiting
@@ -141,6 +148,7 @@ func (s *Socket) maybeHandBack(ctx exec.Context, dir int) {
 		return
 	}
 	holder.Store(0)
+	mTokenReturns.Inc()
 	m := ctlmsg.Msg{Kind: ctlmsg.KTokenReturn, QID: s.side.QID, Dir: uint8(dir),
 		SrcPort: s.sideIdx, PID: int64(s.lib.P.PID)}
 	s.lib.sendCtl(ctx, &m)
@@ -154,6 +162,8 @@ func (s *Socket) maybeHandBack(ctx exec.Context, dir int) {
 func (s *Socket) Send(ctx exec.Context, t *host.Thread, data []byte) (int, error) {
 	s.lib.enter()
 	defer s.lib.leave()
+	mSendOps.Inc()
+	mSendBytes.Add(int64(len(data)))
 	if err := s.acquireToken(ctx, t, DirSend); err != nil {
 		return 0, err
 	}
@@ -173,6 +183,7 @@ func (s *Socket) Send(ctx exec.Context, t *host.Thread, data []byte) (int, error
 		if err := s.sendMsgT(ctx, t, MData, data[:n], nil); err != nil {
 			return total, err
 		}
+		host.CountCopy(n)
 		ctx.Charge(s.lib.H.Costs.CopyCost(n))
 		data = data[n:]
 		total += n
@@ -222,6 +233,7 @@ func (s *Socket) sendMsgT(ctx exec.Context, t *host.Thread, typ uint8, a, b []by
 func (s *Socket) Recv(ctx exec.Context, t *host.Thread, buf []byte) (int, error) {
 	s.lib.enter()
 	defer s.lib.leave()
+	mRecvOps.Inc()
 	if err := s.acquireToken(ctx, t, DirRecv); err != nil {
 		return 0, err
 	}
@@ -241,7 +253,9 @@ func (s *Socket) dispatchMsg(ctx exec.Context, msg shm.Msg, buf []byte) (bool, i
 			// next tryRecv.
 			s.rxPending = append(s.rxPending[:0], msg.Payload[n:]...)
 		}
+		host.CountCopy(n)
 		ctx.Charge(s.lib.H.Costs.CopyCost(n))
+		mRecvBytes.Add(int64(n))
 		return true, n, nil
 	case MZC:
 		s.queueZC(msg.Payload)
@@ -296,9 +310,11 @@ func (s *Socket) blockOnRecv(ctx exec.Context, t *host.Thread) error {
 				th := t.H
 				s.lib.recvCQArm(rep, th)
 			}
+			mRecvSleeps.Inc()
 			m := ctlmsg.Msg{Kind: ctlmsg.KSleepNote, QID: s.side.QID, PID: int64(s.lib.P.PID), TID: int64(t.TID)}
 			s.lib.sendCtl(ctx, &m)
 			ctx.Park()
+			mRecvWakeups.Inc()
 		}
 		s.side.RecvSleeper.Store(0)
 		empty = 0

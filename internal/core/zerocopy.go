@@ -8,6 +8,7 @@ import (
 	"socksdirect/internal/host"
 	"socksdirect/internal/mem"
 	"socksdirect/internal/rdma"
+	"socksdirect/internal/telemetry"
 )
 
 // zcPool is the receiver-side pinned page pool for inter-host zero copy
@@ -189,6 +190,7 @@ func (s *Socket) SendVA(ctx exec.Context, t *host.Thread, addr mem.VAddr, n int)
 		if err := s.sendMsg(ctx, MData, buf, nil); err != nil {
 			return whole, err
 		}
+		host.CountCopy(rem)
 		ctx.Charge(s.lib.H.Costs.CopyCost(rem))
 	}
 	return n, nil
@@ -294,6 +296,7 @@ func (s *Socket) sendVACopyLocked(ctx exec.Context, addr mem.VAddr, n int) (int,
 		if err := s.sendMsg(ctx, MData, buf[:c], nil); err != nil {
 			return total, err
 		}
+		host.CountCopy(c)
 		ctx.Charge(s.lib.H.Costs.CopyCost(c))
 		buf = buf[c:]
 		total += c
@@ -329,6 +332,11 @@ func (s *Socket) RecvVA(ctx exec.Context, t *host.Thread, addr mem.VAddr, n int)
 			whole := z.total &^ (mem.PageSize - 1)
 			if err := s.lib.P.AS.MapPages(ctx, addr, z.ids); err != nil {
 				return 0, err
+			}
+			mZCRemaps.Inc()
+			if telemetry.Trace.Enabled() {
+				telemetry.Trace.Emit(ctx.Now(), "core", "zc_remap",
+					telemetry.A("pages", int64(len(z.ids))))
 			}
 			if !z.intra && s.side.LocalPool != nil {
 				// The received frames now belong to the application; put
@@ -414,6 +422,8 @@ func (s *Socket) materializeZC(ctx exec.Context, buf []byte) (int, error) {
 		out = append(out, fd...)
 	}
 	out = out[:min(z.total, len(out))]
+	mZCCopies.Inc()
+	host.CountCopy(len(out))
 	ctx.Charge(s.lib.H.Costs.CopyCost(len(out)))
 	s.rxZC = s.rxZC[1:]
 	if z.intra {
@@ -442,6 +452,7 @@ func (s *Socket) recvBytes(ctx exec.Context, t *host.Thread, buf []byte, materia
 		if len(s.rxPending) > 0 {
 			n := copy(buf, s.rxPending)
 			s.rxPending = s.rxPending[n:]
+			host.CountCopy(n)
 			ctx.Charge(s.lib.H.Costs.CopyCost(n))
 			return n, nil
 		}

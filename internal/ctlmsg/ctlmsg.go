@@ -37,6 +37,44 @@ const (
 	KReQPRes                     // peer libsd -> monitor -> libsd: new remote QPN
 )
 
+// kindNames maps Kind values to stable lower-case names (telemetry keys,
+// trace events, debug output).
+var kindNames = [...]string{
+	KBind:        "bind",
+	KBindRes:     "bind_res",
+	KListen:      "listen",
+	KConnect:     "connect",
+	KConnectRes:  "connect_res",
+	KNewConn:     "new_conn",
+	KAcceptHint:  "accept_hint",
+	KStealReq:    "steal_req",
+	KStealRes:    "steal_res",
+	KTakeover:    "takeover",
+	KTokenReturn: "token_return",
+	KTokenGrant:  "token_grant",
+	KForkSecret:  "fork_secret",
+	KChildHello:  "child_hello",
+	KWake:        "wake",
+	KSleepNote:   "sleep_note",
+	KMSyn:        "msyn",
+	KMSynAck:     "msyn_ack",
+	KMRefused:    "mrefused",
+	KReQP:        "reqp",
+	KReQPPeer:    "reqp_peer",
+	KReQPRes:     "reqp_res",
+}
+
+// NumKinds is one past the highest defined Kind (array sizing).
+const NumKinds = int(KReQPRes) + 1
+
+// String returns the kind's stable lower-case name.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) && kindNames[k] != "" {
+		return kindNames[k]
+	}
+	return "unknown"
+}
+
 // Transport identifies the data plane a queue descriptor refers to.
 const (
 	TransportSHM uint8 = iota + 1

@@ -7,6 +7,7 @@ import (
 	"socksdirect/internal/exec"
 	"socksdirect/internal/host"
 	"socksdirect/internal/shm"
+	"socksdirect/internal/telemetry"
 	"socksdirect/internal/trace"
 )
 
@@ -327,7 +328,10 @@ func RenderTable2(rows []Table2Row) string {
 
 // Table4 reproduces the latency-breakdown table: per-operation, per-packet
 // and per-kilobyte component costs of each system, from the calibrated
-// model plus end-to-end measurements for the totals.
+// model plus end-to-end measurements for the totals. Each system's runs are
+// bracketed with telemetry snapshots, so the companion Table 4b reports the
+// *measured* per-component event counts (syscalls, copies, wakeups,
+// interrupts, remaps) straight from the instrumented stack.
 func Table4() string {
 	c := &costmodel.Default
 	t := &trace.Table{
@@ -337,14 +341,23 @@ func Table4() string {
 	f := func(v int64) string { return fmt.Sprintf("%d", v) }
 	na := "n/a"
 
-	sdIn := int64(PingPong(SysSD, 8, true, 40).LatencyNs)
-	vmIn := int64(PingPong(SysLibVMA, 8, true, 40).LatencyNs)
-	rsIn := int64(PingPong(SysRSocket, 8, true, 40).LatencyNs)
-	lxIn := int64(PingPong(SysLinux, 8, true, 40).LatencyNs)
-	sdX := int64(PingPong(SysSD, 8, false, 40).LatencyNs)
-	vmX := int64(PingPong(SysLibVMA, 8, false, 40).LatencyNs)
-	rsX := int64(PingPong(SysRSocket, 8, false, 40).LatencyNs)
-	lxX := int64(PingPong(SysLinux, 8, false, 40).LatencyNs)
+	systems := []struct {
+		name string
+		sys  System
+	}{
+		{"SocksDirect", SysSD},
+		{"LibVMA", SysLibVMA},
+		{"RSocket", SysRSocket},
+		{"Linux", SysLinux},
+	}
+	var intra, inter [4]int64
+	var deltas [4]telemetry.Snapshot
+	for i, s := range systems {
+		before := telemetry.Capture()
+		intra[i] = int64(PingPong(s.sys, 8, true, 40).LatencyNs)
+		inter[i] = int64(PingPong(s.sys, 8, false, 40).LatencyNs)
+		deltas[i] = telemetry.Capture().Diff(before)
+	}
 
 	t.Add("Per op: kernel crossing", na, na, na, f(c.Syscall))
 	t.Add("Per op: socket FD lock", na, f(c.SpinlockOp), f(c.SpinlockOp), f(c.SpinlockOp))
@@ -356,9 +369,38 @@ func Table4() string {
 	t.Add("Per pkt: interrupt handling", na, na, na, f(c.InterruptHandle))
 	t.Add("Per pkt: process wakeup", na, na, na, f(c.ProcessWakeup))
 	t.Add("Per KB: payload copy", "0 (>=16K)", f(c.CopyCost(1024)*2), f(c.CopyCost(1024)*2), f(c.CopyCost(1024)*2))
-	t.Add("Measured RTT intra-host (8B)", f(sdIn), f(vmIn), f(rsIn), f(lxIn))
-	t.Add("Measured RTT inter-host (8B)", f(sdX), f(vmX), f(rsX), f(lxX))
+	t.Add("Measured RTT intra-host (8B)", f(intra[0]), f(intra[1]), f(intra[2]), f(intra[3]))
+	t.Add("Measured RTT inter-host (8B)", f(inter[0]), f(inter[1]), f(inter[2]), f(inter[3]))
 	t.Add("Per conn: RDMA QP creation", f(c.RDMAQPCreate), na, f(c.RDMAQPCreate), na)
 	t.Add("Per conn: monitor processing", "~200", na, na, na)
-	return t.String()
+
+	tb := &trace.Table{
+		Title:  "Table 4b: measured event counts per system (8B ping-pong, intra + inter, 40 rounds each)",
+		Header: []string{"Counter", "SocksDirect", "LibVMA", "RSocket", "Linux"},
+	}
+	for _, row := range []struct {
+		label, key string
+	}{
+		{"syscalls", telemetry.HostSyscalls},
+		{"payload copies", telemetry.HostCopies},
+		{"bytes copied", telemetry.HostCopyBytes},
+		{"process wakeups", telemetry.HostWakeups},
+		{"NIC interrupts", telemetry.HostInterrupts},
+		{"page remaps", telemetry.HostPageRemaps},
+		{"COW faults", telemetry.HostCOWFaults},
+		{"socket FD lock ops", telemetry.KsockFDLockOps},
+		{"kernel FD allocs", telemetry.KsockFDAllocs},
+		{"shm msgs sent", telemetry.ShmMsgsSent},
+		{"shm credit returns", telemetry.ShmCreditReturns},
+		{"RDMA WQEs posted", telemetry.RdmaWQEsPosted},
+		{"RDMA completions", telemetry.RdmaCompletions},
+		{"monitor ctl msgs", telemetry.MonCtlMsgs},
+		{"monitor thread wakes", telemetry.MonWakes},
+		{"token fast-path sends", telemetry.CoreTokenFast},
+	} {
+		tb.Add(row.label,
+			f(deltas[0].Get(row.key)), f(deltas[1].Get(row.key)),
+			f(deltas[2].Get(row.key)), f(deltas[3].Get(row.key)))
+	}
+	return t.String() + "\n" + tb.String()
 }

@@ -13,8 +13,19 @@ package fabric
 import (
 	"math/rand"
 	"sync"
+	"sync/atomic"
 
 	"socksdirect/internal/exec"
+	"socksdirect/internal/telemetry"
+)
+
+// Package-wide metric handles (resolved once; see internal/telemetry).
+var (
+	mTxFrames = telemetry.C(telemetry.FabricTxFrames)
+	mTxBytes  = telemetry.C(telemetry.FabricTxBytes)
+	mRxFrames = telemetry.C(telemetry.FabricRxFrames)
+	mRxBytes  = telemetry.C(telemetry.FabricRxBytes)
+	mDrops    = telemetry.C(telemetry.FabricDrops)
 )
 
 // Config describes one direction of a link.
@@ -43,6 +54,15 @@ type Stats struct {
 	Drops             uint64
 }
 
+// counters is the endpoint-internal atomic form of Stats: Rx increments
+// happen in timer (delivery) context concurrently with sender-side Tx
+// updates and Stats() readers, so each field must be independently atomic.
+type counters struct {
+	txFrames, txBytes atomic.Uint64
+	rxFrames, rxBytes atomic.Uint64
+	drops             atomic.Uint64
+}
+
 // Endpoint is one side of a link (a NIC port). Handler is invoked at
 // delivery time in timer context and must not block.
 type Endpoint struct {
@@ -55,7 +75,7 @@ type Endpoint struct {
 	mu       sync.Mutex
 	nextFree int64 // when the TX wire is next idle
 	rng      *rand.Rand
-	stats    Stats
+	stats    counters
 }
 
 // NewLink creates a full-duplex link between two new endpoints with
@@ -83,9 +103,13 @@ func (e *Endpoint) Name() string { return e.name }
 
 // Stats returns a snapshot of the endpoint's counters.
 func (e *Endpoint) Stats() Stats {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.stats
+	return Stats{
+		TxFrames: e.stats.txFrames.Load(),
+		TxBytes:  e.stats.txBytes.Load(),
+		RxFrames: e.stats.rxFrames.Load(),
+		RxBytes:  e.stats.rxBytes.Load(),
+		Drops:    e.stats.drops.Load(),
+	}
 }
 
 // Send transmits a frame of the given payload size toward the peer. The
@@ -96,11 +120,15 @@ func (e *Endpoint) Send(frame any, payloadBytes int) {
 	wire := payloadBytes + e.cfg.PerFrameOverheadBytes
 	now := e.clk.Now()
 
+	e.stats.txFrames.Add(1)
+	e.stats.txBytes.Add(uint64(payloadBytes))
+	mTxFrames.Inc()
+	mTxBytes.Add(int64(payloadBytes))
+
 	e.mu.Lock()
-	e.stats.TxFrames++
-	e.stats.TxBytes += uint64(payloadBytes)
 	if e.cfg.LossRate > 0 && e.rng.Float64() < e.cfg.LossRate {
-		e.stats.Drops++
+		e.stats.drops.Add(1)
+		mDrops.Inc()
 		e.mu.Unlock()
 		return
 	}
@@ -121,9 +149,11 @@ func (e *Endpoint) Send(frame any, payloadBytes int) {
 	e.mu.Unlock()
 
 	e.clk.After(deliverAt-now, func() {
+		peer.stats.rxFrames.Add(1)
+		peer.stats.rxBytes.Add(uint64(payloadBytes))
+		mRxFrames.Inc()
+		mRxBytes.Add(int64(payloadBytes))
 		peer.mu.Lock()
-		peer.stats.RxFrames++
-		peer.stats.RxBytes += uint64(payloadBytes)
 		h := peer.handler
 		peer.mu.Unlock()
 		if h != nil {

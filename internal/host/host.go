@@ -207,6 +207,7 @@ func (p *Process) RegisterHandler(s Signal, fn func(Signal)) {
 // run the registered handler (in the caller's context, like an interrupt)
 // after the kernel's delivery cost.
 func (p *Process) Signal(ctx exec.Context, s Signal) {
+	mSignals.Inc()
 	if ctx != nil {
 		ctx.Charge(p.Host.Costs.SignalDeliver)
 	}

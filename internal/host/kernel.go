@@ -47,7 +47,10 @@ type netFrame struct {
 }
 
 // Syscall charges one kernel crossing (KPTI-era cost).
-func (k *Kernel) Syscall(ctx exec.Context) { ctx.Charge(k.h.Costs.Syscall) }
+func (k *Kernel) Syscall(ctx exec.Context) {
+	mSyscalls.Inc()
+	ctx.Charge(k.h.Costs.Syscall)
+}
 
 func (k *Kernel) addNetPort(remote string, ep *fabric.Endpoint) {
 	k.mu.Lock()

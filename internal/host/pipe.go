@@ -81,6 +81,7 @@ func (pb *pipeBuf) read(ctx exec.Context, out []byte) (int, error) {
 			}
 			pb.used -= n
 			pb.mu.Unlock()
+			CountCopy(n)
 			ctx.Charge(pb.k.h.Costs.CopyCost(n))
 			pb.writers.Wake(pb.k.h.Clk, pb.k.h.Costs.ProcessWakeup)
 			return n, nil
@@ -117,6 +118,7 @@ func (pb *pipeBuf) write(ctx exec.Context, data []byte) (int, error) {
 			pb.mu.Unlock()
 			// Pay the copy before publishing so the visibility stamp
 			// reflects when the bytes actually exist.
+			CountCopy(n)
 			ctx.Charge(pb.k.h.Costs.CopyCost(n))
 			pb.mu.Lock()
 			if pb.closedR {

@@ -69,6 +69,9 @@ func (w *WaitQ) Wake(clk exec.Clock, delay int64) {
 		}
 		return
 	}
+	// A delayed wake models the kernel scheduler's process-wakeup latency —
+	// the Table 4 "process wakeup" row counts these.
+	mWakeups.Add(int64(len(ws)))
 	clk.After(delay, func() {
 		for _, t := range ws {
 			t.Unpark()

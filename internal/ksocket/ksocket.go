@@ -11,6 +11,13 @@ import (
 	"socksdirect/internal/exec"
 	"socksdirect/internal/host"
 	"socksdirect/internal/tcpstack"
+	"socksdirect/internal/telemetry"
+)
+
+// Package-wide metric handles (resolved once; see internal/telemetry).
+var (
+	mFDAllocs  = telemetry.C(telemetry.KsockFDAllocs)
+	mFDLockOps = telemetry.C(telemetry.KsockFDLockOps)
 )
 
 // Stack is one host's kernel socket layer.
@@ -59,6 +66,7 @@ func (l *Listener) Accept(ctx exec.Context) (*Socket, error) {
 	if err != nil {
 		return nil, err
 	}
+	mFDAllocs.Inc()
 	ctx.Charge(l.s.h.Costs.KernelFDAlloc)
 	return &Socket{h: l.s.h, c: c}, nil
 }
@@ -88,6 +96,7 @@ func (s *Stack) Dial(ctx exec.Context, rhost string, port uint16) (*Socket, erro
 }
 
 func (k *Socket) fdLock(ctx exec.Context) {
+	mFDLockOps.Inc()
 	k.lock.Acquire(ctx, k.h.Costs.SpinlockOp)
 }
 

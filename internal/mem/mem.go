@@ -19,6 +19,13 @@ import (
 
 	"socksdirect/internal/costmodel"
 	"socksdirect/internal/exec"
+	"socksdirect/internal/telemetry"
+)
+
+// Package-wide metric handles (resolved once; see internal/telemetry).
+var (
+	mPageRemaps = telemetry.C(telemetry.HostPageRemaps)
+	mCOWFaults  = telemetry.C(telemetry.HostCOWFaults)
 )
 
 // PageSize is the simulated page size.
@@ -343,6 +350,7 @@ func (as *AddressSpace) Write(ctx exec.Context, addr VAddr, data []byte) error {
 			return fmt.Errorf("%w: %#x", ErrUnmapped, a)
 		}
 		if e.cow || e.f.refs > 1 {
+			mCOWFaults.Inc()
 			as.pm.mu.Lock()
 			f := as.takeFrameLocked()
 			if chunk < PageSize {
@@ -414,6 +422,7 @@ func (as *AddressSpace) MapPages(ctx exec.Context, addr VAddr, ids []PageID) err
 	as.pm.mu.Unlock()
 	as.mu.Unlock()
 	// One batched remap call for the whole range (§4.3's amortization).
+	mPageRemaps.Add(int64(len(ids)))
 	as.pm.charge(ctx, as.pm.costs.MapCost(len(ids)))
 	return nil
 }

@@ -1,0 +1,35 @@
+package monitor
+
+import (
+	"socksdirect/internal/ctlmsg"
+	"socksdirect/internal/telemetry"
+)
+
+// Package-wide metric handles (resolved once; see internal/telemetry).
+var (
+	mCtlMsgs       = telemetry.C(telemetry.MonCtlMsgs)
+	mDispatches    = telemetry.C(telemetry.MonDispatches)
+	mTokensGranted = telemetry.C(telemetry.MonTokensGranted)
+	mWorkSteals    = telemetry.C(telemetry.MonWorkSteals)
+	mProbesOK      = telemetry.C(telemetry.MonProbesOK)
+	mProbesFailed  = telemetry.C(telemetry.MonProbesFailed)
+	mWakes         = telemetry.C(telemetry.MonWakes)
+
+	// mCtlByKind indexes a per-kind counter by ctlmsg.Kind, so counting a
+	// control message is two atomic adds and no map lookup.
+	mCtlByKind = func() [ctlmsg.NumKinds]*telemetry.Counter {
+		var arr [ctlmsg.NumKinds]*telemetry.Counter
+		for k := range arr {
+			arr[k] = telemetry.C(telemetry.MonCtlMsgs + "/k" + ctlmsg.Kind(k).String())
+		}
+		return arr
+	}()
+)
+
+// countCtl records one control-plane message by kind.
+func countCtl(k ctlmsg.Kind) {
+	mCtlMsgs.Inc()
+	if int(k) < len(mCtlByKind) {
+		mCtlByKind[k].Inc()
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"socksdirect/internal/host"
 	"socksdirect/internal/ksocket"
 	"socksdirect/internal/shm"
+	"socksdirect/internal/telemetry"
 )
 
 // ctlRingCap sizes each process's control duplex.
@@ -280,6 +281,11 @@ func (m *Monitor) sendTo(ctx exec.Context, pid int, cm *ctlmsg.Msg, signal bool)
 }
 
 func (m *Monitor) handle(ctx exec.Context, pc *procChan, cm *ctlmsg.Msg) {
+	countCtl(cm.Kind)
+	if telemetry.Trace.Enabled() {
+		telemetry.Trace.Emit(ctx.Now(), "monitor", "ctl/"+cm.Kind.String(),
+			telemetry.A("pid", cm.PID))
+	}
 	switch cm.Kind {
 	case ctlmsg.KListen:
 		m.onListen(ctx, pc, cm)
@@ -334,6 +340,11 @@ func (m *Monitor) handle(ctx exec.Context, pc *procChan, cm *ctlmsg.Msg) {
 
 // handleRemote processes a message arriving on a monitor channel.
 func (m *Monitor) handleRemote(ctx exec.Context, mc *mchan, cm *ctlmsg.Msg) {
+	countCtl(cm.Kind)
+	if telemetry.Trace.Enabled() {
+		telemetry.Trace.Emit(ctx.Now(), "monitor", "remote/"+cm.Kind.String(),
+			telemetry.A("port", int64(cm.Port)))
+	}
 	switch cm.Kind {
 	case ctlmsg.KMSyn:
 		ref, ok := m.pickListener(cm.Port)
@@ -347,6 +358,7 @@ func (m *Monitor) handleRemote(ctx exec.Context, mc *mchan, cm *ctlmsg.Msg) {
 		m.connOwner[cm.ConnID] = ref.pid
 		m.ConnsDispatched++
 		m.mu.Unlock()
+		mDispatches.Inc()
 		nc := *cm
 		nc.Kind = ctlmsg.KNewConn
 		nc.Transport = ctlmsg.TransportRDMA
@@ -394,6 +406,7 @@ func (m *Monitor) wakeThread(pid, tid int) {
 		return
 	}
 	// Waking a sleeping process costs the kernel wakeup latency (§2.1.2).
+	mWakes.Inc()
 	th := t.H
 	m.H.Clk.After(m.H.Costs.ProcessWakeup, func() { th.Unpark() })
 }
@@ -507,6 +520,7 @@ func (m *Monitor) dispatchIntra(ctx exec.Context, pc *procChan, cm *ctlmsg.Msg) 
 	m.connOwner[cm.ConnID] = ref.pid
 	m.ConnsDispatched++
 	m.mu.Unlock()
+	mDispatches.Inc()
 
 	nc := ctlmsg.Msg{
 		Kind: ctlmsg.KNewConn, ConnID: cm.ConnID, Port: cm.Port,
@@ -606,6 +620,7 @@ func (m *Monitor) grantNext(ctx exec.Context, key tokKey) {
 	more := len(ts.waiters) > 0
 	m.TokensGranted++
 	m.mu.Unlock()
+	mTokensGranted.Inc()
 
 	grant := ctlmsg.Msg{
 		Kind: ctlmsg.KTokenGrant, QID: key.qid, Dir: key.dir,
@@ -657,6 +672,7 @@ func (m *Monitor) onStealRes(ctx exec.Context, pc *procChan, cm *ctlmsg.Msg) {
 	if !ok || cm.Status != ctlmsg.StatusOK {
 		return
 	}
+	mWorkSteals.Inc()
 	// Re-dispatch the stolen descriptor to the thief.
 	nc := *cm
 	nc.Kind = ctlmsg.KNewConn

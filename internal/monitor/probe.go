@@ -118,6 +118,11 @@ func (m *Monitor) finishProbes(ctx exec.Context, dst string, pr probeResult) {
 		m.KS.TCP().UnregisterRawPort(pr.sport)
 	}
 
+	if pr.kind == probeSD {
+		mProbesOK.Inc()
+	} else {
+		mProbesFailed.Inc()
+	}
 	switch pr.kind {
 	case probeSD:
 		m.mu.Lock()

@@ -3,6 +3,20 @@ package rdma
 import (
 	"fmt"
 	"sync"
+
+	"socksdirect/internal/telemetry"
+)
+
+// Package-wide metric handles (resolved once; see internal/telemetry).
+var (
+	mWQEsPosted  = telemetry.C(telemetry.RdmaWQEsPosted)
+	mCompletions = telemetry.C(telemetry.RdmaCompletions)
+	mRetransmits = telemetry.C(telemetry.RdmaRetransmits)
+	mImmWrites   = telemetry.C(telemetry.RdmaImmWrites)
+	mPacketsTx   = telemetry.C(telemetry.RdmaPacketsTx)
+	mRNR         = telemetry.C(telemetry.RdmaRNR)
+	mOutOfOrder  = telemetry.C(telemetry.RdmaOutOfOrder)
+	mQPsCreated  = telemetry.C(telemetry.RdmaQPsCreated)
 )
 
 // QP states (the subset of the ibv state machine the system uses).
@@ -105,6 +119,7 @@ func (pd *PD) CreateQP(sendCQ, recvCQ *CQ) *QP {
 		window: DefaultWindow,
 	}
 	n.qps[qp.qpn] = qp
+	mQPsCreated.Inc()
 	return qp
 }
 
@@ -225,6 +240,10 @@ func (qp *QP) post(wrid uint64, op uint8, data []byte, rkey uint64, raddr int64,
 	if qp.state != QPRTS {
 		return ErrQPState
 	}
+	mWQEsPosted.Inc()
+	if op == OpWriteImm {
+		mImmWrites.Inc()
+	}
 	// Segment to MTU. The payload is copied at post time: this models the
 	// NIC DMA-reading the (pinned) source buffer, and keeps the semantics
 	// that the app may not touch the buffer until completion while letting
@@ -278,6 +297,7 @@ func (qp *QP) enqueueLocked(p *packet) {
 func (qp *QP) transmitLocked(p *packet) {
 	qp.inflight = append(qp.inflight, p)
 	qp.port.Send(p, len(p.payload))
+	mPacketsTx.Inc()
 	qp.armRTOLocked()
 }
 
@@ -316,8 +336,14 @@ func (qp *QP) onTimeout(gen uint64) {
 		return
 	}
 	// go-back-N: retransmit everything unacked.
+	if telemetry.Trace.Enabled() {
+		telemetry.Trace.Emit(qp.nic.clk.Now(), "rdma", "retransmit",
+			telemetry.A("qpn", int64(qp.qpn)), telemetry.A("inflight", int64(len(qp.inflight))))
+	}
 	for _, p := range qp.inflight {
 		qp.port.Send(p, len(p.payload))
+		mRetransmits.Inc()
+		mPacketsTx.Inc()
 	}
 	qp.armRTOLocked()
 }
@@ -390,6 +416,7 @@ func (qp *QP) onData(p *packet) {
 	if p.seq != qp.rcvNext {
 		// Out of order (loss upstream) or duplicate: go-back-N discards,
 		// re-acking what we actually have.
+		mOutOfOrder.Inc()
 		ack := qp.rcvNext
 		port := qp.portForReply(p)
 		qp.mu.Unlock()
@@ -427,6 +454,7 @@ func (qp *QP) onData(p *packet) {
 	case OpSend:
 		if len(qp.recvQ) == 0 {
 			accepted = false // RNR: do not advance; sender will retry
+			mRNR.Inc()
 		} else {
 			w := &qp.recvQ[0]
 			w.fill += copy(w.buf[w.fill:], p.payload)

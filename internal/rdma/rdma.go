@@ -76,6 +76,7 @@ type CQ struct {
 func NewCQ() *CQ { return &CQ{} }
 
 func (cq *CQ) push(e CQE) {
+	mCompletions.Inc()
 	cq.mu.Lock()
 	cq.items = append(cq.items, e)
 	ns := cq.notify

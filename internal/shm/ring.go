@@ -18,6 +18,20 @@ import (
 	"fmt"
 	"sync/atomic"
 	"unsafe"
+
+	"socksdirect/internal/telemetry"
+)
+
+// Package-wide metric handles (resolved once; see internal/telemetry).
+var (
+	mMsgsSent      = telemetry.C(telemetry.ShmMsgsSent)
+	mBytesSent     = telemetry.C(telemetry.ShmBytesSent)
+	mMsgsRecv      = telemetry.C(telemetry.ShmMsgsRecv)
+	mCreditReturns = telemetry.C(telemetry.ShmCreditReturns)
+	mWrapMarkers   = telemetry.C(telemetry.ShmWrapMarkers)
+	mSendFull      = telemetry.C(telemetry.ShmSendFull)
+	mOccupancy     = telemetry.G(telemetry.ShmOccupancy)
+	mMsgSize       = telemetry.D(telemetry.ShmMsgSize)
 )
 
 // cpad pads fields apart so producer- and consumer-owned state do not
@@ -133,18 +147,24 @@ func (r *Ring) TrySendV(typ, flags uint8, a, b []byte) bool {
 		total += rem // skip to ring start via wrap marker
 	}
 	if !r.free(total) {
+		mSendFull.Inc()
 		return false
 	}
 	if sz > rem {
 		*r.hdrAt(off) = packHdr(wrapType, 0, 0)
 		r.written += rem
 		off = 0
+		mWrapMarkers.Inc()
 	}
 	copy(r.data[off+hdrSize:], a)
 	copy(r.data[off+hdrSize+uint64(len(a)):], b)
 	*r.hdrAt(off) = packHdr(typ, flags, n)
 	r.written += sz
 	r.tail.Store(r.written) // release: publish payload + header
+	mMsgsSent.Inc()
+	mBytesSent.Add(int64(n))
+	mMsgSize.Observe(int64(n))
+	mOccupancy.Set(int64(r.written - r.creditSeen)) // sender-side occupancy view
 	return true
 }
 
@@ -183,6 +203,7 @@ func (r *Ring) TryRecv() (Msg, bool) {
 	}
 	payload := r.data[off+hdrSize : off+hdrSize+uint64(n)]
 	r.read += hdrSize + pad8(n)
+	mMsgsRecv.Inc()
 	return Msg{Type: typ, Flags: flags, Payload: payload}, true
 }
 
@@ -193,6 +214,7 @@ func (r *Ring) flushCredit() {
 		r.credit.Store(r.read)
 	}
 	r.creditFlush = r.read
+	mCreditReturns.Inc()
 }
 
 // PeekType returns the type of the next message without consuming it

@@ -280,6 +280,7 @@ func (c *Conn) Write(ctx exec.Context, data []byte) (int, error) {
 	if c.st.mode == ModeKernel {
 		c.st.h.Kern.Syscall(ctx)
 	}
+	host.CountCopy(len(data))
 	ctx.Charge(costs.CopyCost(len(data))) // app buffer -> socket buffer
 	total := 0
 	for len(data) > 0 {
@@ -335,6 +336,7 @@ func (c *Conn) Read(ctx exec.Context, out []byte) (int, error) {
 			n := copy(out, c.recvBuf)
 			c.recvBuf = c.recvBuf[:copy(c.recvBuf, c.recvBuf[n:])]
 			c.mu.Unlock()
+			host.CountCopy(n)
 			ctx.Charge(c.st.h.Costs.CopyCost(n))
 			return n, nil
 		}

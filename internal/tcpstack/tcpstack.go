@@ -18,7 +18,12 @@ import (
 
 	"socksdirect/internal/exec"
 	"socksdirect/internal/host"
+	"socksdirect/internal/telemetry"
 )
+
+// mInterrupts counts kernel-mode NIC interrupts (a Table 4 row); copies are
+// counted through host.CountCopy at the charge sites in conn.go.
+var mInterrupts = telemetry.C(telemetry.HostInterrupts)
 
 // MSS is the maximum segment payload.
 const MSS = 1460
@@ -154,6 +159,7 @@ func (st *Stack) rx(src string, frame any) {
 		return
 	}
 	if st.mode == ModeKernel {
+		mInterrupts.Inc()
 		st.h.Clk.After(st.h.Costs.InterruptHandle, func() { st.process(seg) })
 		return
 	}

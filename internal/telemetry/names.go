@@ -1,0 +1,85 @@
+package telemetry
+
+// Registered metric names. The namespace is hierarchical by layer:
+//
+//	sd/shm/...      SPSC shared-memory rings (transport bottom)
+//	sd/rdma/...     simulated RDMA NIC / QPs
+//	sd/fabric/...   inter-host frame fabric
+//	sd/core/...     libsd data path (send/recv, tokens, zero-copy, epoll)
+//	sd/monitor/...  monitor control plane
+//	sd/host/...     simulated kernel (syscalls, copies, wakeups — Table 4)
+//	sd/ksocket/...  kernel-socket compatibility layer
+//
+// Names are plain strings so instrumented packages don't need these
+// constants (the registry is get-or-create), but the canonical list lives
+// here for docs, tests, and sdbench reporting.
+const (
+	// shm ring.
+	ShmMsgsSent      = "sd/shm/ring/msgs_sent"
+	ShmBytesSent     = "sd/shm/ring/bytes_sent"
+	ShmMsgsRecv      = "sd/shm/ring/msgs_recv"
+	ShmCreditReturns = "sd/shm/ring/credit_returns"
+	ShmWrapMarkers   = "sd/shm/ring/wrap_markers"
+	ShmSendFull      = "sd/shm/ring/send_full"
+	ShmOccupancy     = "sd/shm/ring/occupancy"  // gauge: bytes in flight (high-water)
+	ShmMsgSize       = "sd/shm/ring/msg_size"   // distribution
+	ShmBatchSize     = "sd/shm/ring/batch_size" // distribution: bytes mirrored per RDMA flush
+
+	// rdma.
+	RdmaWQEsPosted  = "sd/rdma/qp/wqes_posted"
+	RdmaCompletions = "sd/rdma/cq/completions"
+	RdmaRetransmits = "sd/rdma/qp/retransmits"
+	RdmaImmWrites   = "sd/rdma/qp/imm_writes"
+	RdmaPacketsTx   = "sd/rdma/qp/packets_tx"
+	RdmaRNR         = "sd/rdma/qp/rnr"
+	RdmaOutOfOrder  = "sd/rdma/qp/out_of_order_drops"
+	RdmaQPsCreated  = "sd/rdma/qps_created"
+
+	// fabric.
+	FabricTxFrames = "sd/fabric/tx_frames"
+	FabricTxBytes  = "sd/fabric/tx_bytes"
+	FabricRxFrames = "sd/fabric/rx_frames"
+	FabricRxBytes  = "sd/fabric/rx_bytes"
+	FabricDrops    = "sd/fabric/drops"
+
+	// core data path.
+	CoreSendOps       = "sd/core/send_ops"
+	CoreRecvOps       = "sd/core/recv_ops"
+	CoreSendBytes     = "sd/core/send_bytes"
+	CoreRecvBytes     = "sd/core/recv_bytes"
+	CoreTokenFast     = "sd/core/token/fast_path"
+	CoreTokenTakeover = "sd/core/token/takeovers"
+	CoreTokenReturns  = "sd/core/token/returns"
+	CoreRecvSleeps    = "sd/core/recv_sleeps"
+	CoreRecvWakeups   = "sd/core/recv_wakeups"
+	CoreZCRemaps      = "sd/core/zc/remaps"
+	CoreZCCopies      = "sd/core/zc/copies" // materialized (COW-style) fallbacks
+	CoreForkInherits  = "sd/core/fork/inherited_fds"
+	CoreForkReQP      = "sd/core/fork/reqp"
+	CoreEpollWaits    = "sd/core/epoll/waits"
+	CoreEpollSweeps   = "sd/core/epoll/kernel_sweeps"
+	CoreTCPFallbacks  = "sd/core/tcp_fallbacks"
+
+	// monitor control plane.
+	MonCtlMsgs       = "sd/monitor/ctl_msgs" // plus /k<kind> suffixed per-kind counters
+	MonDispatches    = "sd/monitor/dispatches"
+	MonTokensGranted = "sd/monitor/tokens_granted"
+	MonWorkSteals    = "sd/monitor/work_steals"
+	MonProbesOK      = "sd/monitor/probes_ok"
+	MonProbesFailed  = "sd/monitor/probes_failed"
+	MonWakes         = "sd/monitor/thread_wakes"
+
+	// host / simulated kernel — the Table 4 rows.
+	HostSyscalls   = "sd/host/syscalls"
+	HostCopies     = "sd/host/copies"
+	HostCopyBytes  = "sd/host/copy_bytes"
+	HostSignals    = "sd/host/signal_interrupts"
+	HostWakeups    = "sd/host/process_wakeups"
+	HostInterrupts = "sd/host/interrupts"
+	HostPageRemaps = "sd/host/page_remaps"
+	HostCOWFaults  = "sd/host/cow_faults"
+
+	// ksocket compatibility layer.
+	KsockFDAllocs  = "sd/ksocket/fd_allocs"
+	KsockFDLockOps = "sd/ksocket/fd_lock_ops"
+)

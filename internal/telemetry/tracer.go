@@ -1,0 +1,204 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Event is one structured trace record: a virtual-time timestamp, the
+// component that emitted it ("shm", "rdma", "monitor", ...), an event name,
+// and optional key=value attributes.
+type Event struct {
+	TS        int64 // virtual time, nanoseconds
+	Component string
+	Name      string
+	Attrs     []Attr
+}
+
+// Attr is a single event attribute.
+type Attr struct {
+	Key   string
+	Value int64
+}
+
+// A returns an Attr; it keeps Emit call sites short:
+//
+//	tracer.Emit(now, "rdma", "retransmit", telemetry.A("qpn", 3))
+func A(key string, value int64) Attr { return Attr{Key: key, Value: value} }
+
+// Tracer records events into a bounded ring. Disabled tracers cost one
+// atomic load per Emit. Not allocation-free (attrs escape), so tracing is
+// off by default and enabled explicitly (sdbench -trace).
+type Tracer struct {
+	mu      sync.Mutex
+	buf     []Event
+	next    int  // next write position
+	wrapped bool // buf has been fully written at least once
+	dropped int64
+	enabled atomic.Bool
+}
+
+// DefaultTraceCap is the bounded ring size of the package tracer.
+const DefaultTraceCap = 1 << 16
+
+// Trace is the process-wide tracer, disabled until EnableTracing is called.
+var Trace = NewTracer(DefaultTraceCap)
+
+// NewTracer creates a disabled tracer with a ring of the given capacity
+// (minimum 1).
+func NewTracer(capacity int) *Tracer {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Tracer{buf: make([]Event, capacity)}
+}
+
+// SetEnabled turns event recording on or off.
+func (t *Tracer) SetEnabled(v bool) { t.enabled.Store(v) }
+
+// Enabled reports whether the tracer records events.
+func (t *Tracer) Enabled() bool { return t.enabled.Load() }
+
+// EnableTracing switches the package-level tracer on.
+func EnableTracing() { Trace.SetEnabled(true) }
+
+// Emit records one event. When the ring is full the oldest event is
+// overwritten and the drop counter advances.
+func (t *Tracer) Emit(ts int64, component, name string, attrs ...Attr) {
+	if !t.enabled.Load() {
+		return
+	}
+	t.mu.Lock()
+	if t.wrapped {
+		t.dropped++
+	}
+	t.buf[t.next] = Event{TS: ts, Component: component, Name: name, Attrs: attrs}
+	t.next++
+	if t.next == len(t.buf) {
+		t.next = 0
+		t.wrapped = true
+	}
+	t.mu.Unlock()
+}
+
+// Dropped returns how many events were overwritten after the ring filled.
+func (t *Tracer) Dropped() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// Len returns the number of retained events.
+func (t *Tracer) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.wrapped {
+		return len(t.buf)
+	}
+	return t.next
+}
+
+// Events returns the retained events oldest-first.
+func (t *Tracer) Events() []Event {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.wrapped {
+		out := make([]Event, t.next)
+		copy(out, t.buf[:t.next])
+		return out
+	}
+	out := make([]Event, 0, len(t.buf))
+	out = append(out, t.buf[t.next:]...)
+	out = append(out, t.buf[:t.next]...)
+	return out
+}
+
+// Reset discards all retained events and zeroes the drop counter.
+func (t *Tracer) Reset() {
+	t.mu.Lock()
+	t.next = 0
+	t.wrapped = false
+	t.dropped = 0
+	t.mu.Unlock()
+}
+
+// chromeEvent is one entry of the Chrome trace_event "traceEvents" array.
+// Instant events ("ph":"i") carry the attrs in "args"; metadata events
+// ("ph":"M") name the per-component tracks.
+type chromeEvent struct {
+	Name  string           `json:"name"`
+	Phase string           `json:"ph"`
+	TS    float64          `json:"ts"` // microseconds
+	PID   int              `json:"pid"`
+	TID   int              `json:"tid"`
+	Scope string           `json:"s,omitempty"`
+	Args  map[string]int64 `json:"args,omitempty"`
+}
+
+type chromeMeta struct {
+	Name  string            `json:"name"`
+	Phase string            `json:"ph"`
+	PID   int               `json:"pid"`
+	TID   int               `json:"tid"`
+	Args  map[string]string `json:"args"`
+}
+
+// WriteChrome serializes the retained events as Chrome trace_event JSON
+// (open in chrome://tracing or Perfetto). Each component becomes its own
+// track via thread_name metadata; timestamps convert from virtual ns to µs.
+func (t *Tracer) WriteChrome(w io.Writer) error {
+	events := t.Events()
+
+	// Stable component -> tid assignment, alphabetical.
+	compSet := map[string]int{}
+	for _, e := range events {
+		compSet[e.Component] = 0
+	}
+	comps := make([]string, 0, len(compSet))
+	for c := range compSet {
+		comps = append(comps, c)
+	}
+	sort.Strings(comps)
+	for i, c := range comps {
+		compSet[c] = i + 1
+	}
+
+	out := make([]any, 0, len(events)+len(comps))
+	for _, c := range comps {
+		out = append(out, chromeMeta{
+			Name: "thread_name", Phase: "M", PID: 1, TID: compSet[c],
+			Args: map[string]string{"name": c},
+		})
+	}
+	for _, e := range events {
+		ce := chromeEvent{
+			Name:  e.Name,
+			Phase: "i",
+			TS:    float64(e.TS) / 1e3,
+			PID:   1,
+			TID:   compSet[e.Component],
+			Scope: "t",
+		}
+		if len(e.Attrs) > 0 {
+			ce.Args = make(map[string]int64, len(e.Attrs))
+			for _, a := range e.Attrs {
+				ce.Args[a.Key] = a.Value
+			}
+		}
+		out = append(out, ce)
+	}
+
+	enc := json.NewEncoder(w)
+	doc := struct {
+		TraceEvents []any  `json:"traceEvents"`
+		Unit        string `json:"displayTimeUnit"`
+	}{TraceEvents: out, Unit: "ns"}
+	if err := enc.Encode(doc); err != nil {
+		return fmt.Errorf("telemetry: write chrome trace: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,167 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestTracerDisabledByDefault(t *testing.T) {
+	tr := NewTracer(8)
+	tr.Emit(1, "shm", "send")
+	if tr.Len() != 0 {
+		t.Fatal("disabled tracer recorded an event")
+	}
+	tr.SetEnabled(true)
+	tr.Emit(2, "shm", "send")
+	if tr.Len() != 1 {
+		t.Fatal("enabled tracer dropped an event")
+	}
+}
+
+func TestTracerOrderAndAttrs(t *testing.T) {
+	tr := NewTracer(8)
+	tr.SetEnabled(true)
+	tr.Emit(10, "rdma", "post", A("qpn", 3), A("bytes", 64))
+	tr.Emit(20, "monitor", "dispatch")
+	evs := tr.Events()
+	if len(evs) != 2 {
+		t.Fatalf("len = %d", len(evs))
+	}
+	if evs[0].TS != 10 || evs[0].Component != "rdma" || evs[0].Name != "post" {
+		t.Errorf("event 0 = %+v", evs[0])
+	}
+	if len(evs[0].Attrs) != 2 || evs[0].Attrs[0] != (Attr{"qpn", 3}) {
+		t.Errorf("attrs = %+v", evs[0].Attrs)
+	}
+	if evs[1].TS != 20 {
+		t.Errorf("event 1 = %+v", evs[1])
+	}
+}
+
+func TestTracerWraparound(t *testing.T) {
+	tr := NewTracer(4)
+	tr.SetEnabled(true)
+	for i := int64(1); i <= 10; i++ {
+		tr.Emit(i, "c", "e")
+	}
+	if tr.Len() != 4 {
+		t.Fatalf("len = %d, want 4", tr.Len())
+	}
+	if tr.Dropped() != 6 {
+		t.Fatalf("dropped = %d, want 6", tr.Dropped())
+	}
+	evs := tr.Events()
+	for i, want := range []int64{7, 8, 9, 10} {
+		if evs[i].TS != want {
+			t.Fatalf("events after wrap = %v (ts[%d] != %d)", evs, i, want)
+		}
+	}
+	tr.Reset()
+	if tr.Len() != 0 || tr.Dropped() != 0 {
+		t.Fatal("reset left state behind")
+	}
+	tr.Emit(99, "c", "e")
+	if evs := tr.Events(); len(evs) != 1 || evs[0].TS != 99 {
+		t.Fatalf("post-reset events = %v", evs)
+	}
+}
+
+func TestWriteChrome(t *testing.T) {
+	tr := NewTracer(8)
+	tr.SetEnabled(true)
+	tr.Emit(1500, "shm", "send", A("bytes", 64))
+	tr.Emit(2500, "rdma", "post")
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+		Unit        string           `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if doc.Unit != "ns" {
+		t.Errorf("displayTimeUnit = %q", doc.Unit)
+	}
+	// 2 metadata (thread_name per component) + 2 instant events.
+	if len(doc.TraceEvents) != 4 {
+		t.Fatalf("traceEvents = %d entries, want 4:\n%s", len(doc.TraceEvents), buf.String())
+	}
+	var metas, instants int
+	tids := map[string]float64{}
+	for _, e := range doc.TraceEvents {
+		switch e["ph"] {
+		case "M":
+			metas++
+			args := e["args"].(map[string]any)
+			tids[args["name"].(string)] = e["tid"].(float64)
+		case "i":
+			instants++
+			if e["s"] != "t" {
+				t.Errorf("instant scope = %v", e["s"])
+			}
+		default:
+			t.Errorf("unexpected phase %v", e["ph"])
+		}
+	}
+	if metas != 2 || instants != 2 {
+		t.Fatalf("metas/instants = %d/%d", metas, instants)
+	}
+	// Components get distinct tracks, alphabetical: rdma=1, shm=2.
+	if tids["rdma"] != 1 || tids["shm"] != 2 {
+		t.Errorf("tids = %v", tids)
+	}
+	for _, e := range doc.TraceEvents {
+		if e["ph"] != "i" || e["name"] != "send" {
+			continue
+		}
+		if e["ts"].(float64) != 1.5 { // 1500 ns -> 1.5 us
+			t.Errorf("ts = %v, want 1.5", e["ts"])
+		}
+		args := e["args"].(map[string]any)
+		if args["bytes"].(float64) != 64 {
+			t.Errorf("args = %v", args)
+		}
+	}
+}
+
+func TestWriteChromeEmpty(t *testing.T) {
+	tr := NewTracer(4)
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if _, ok := doc["traceEvents"]; !ok {
+		t.Fatal("missing traceEvents key")
+	}
+}
+
+func TestTracerConcurrentEmit(t *testing.T) {
+	tr := NewTracer(64)
+	tr.SetEnabled(true)
+	done := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		go func() {
+			for i := int64(0); i < 1000; i++ {
+				tr.Emit(i, "c", "e")
+			}
+			done <- struct{}{}
+		}()
+	}
+	for w := 0; w < 4; w++ {
+		<-done
+	}
+	if tr.Len() != 64 {
+		t.Fatalf("len = %d, want 64", tr.Len())
+	}
+	if tr.Dropped() != 4*1000-64 {
+		t.Fatalf("dropped = %d, want %d", tr.Dropped(), 4*1000-64)
+	}
+}
