@@ -12,6 +12,9 @@
 //	sdbench redis       §5.3.2: KV GET latency
 //	sdbench connscale   §6: connections per second
 //	sdbench ablate      design ablations (token sharing, batching, zero copy)
+//	sdbench chaos       fault injection: loss burst + 2s partition, QP
+//	                    recovery and mid-stream TCP degradation, with
+//	                    byte-exact delivery checks
 //	sdbench all         everything above
 //	sdbench stats [experiment...]
 //	                    run the experiments (default: table2) and dump the
@@ -58,9 +61,10 @@ func main() {
 		"redis":     redis,
 		"connscale": connscale,
 		"ablate":    ablate,
+		"chaos":     chaos,
 	}
 	order := []string{"table2", "table4", "fig7", "fig8",
-		"fig9", "fig10", "fig11", "fig12", "redis", "connscale", "ablate"}
+		"fig9", "fig10", "fig11", "fig12", "redis", "connscale", "ablate", "chaos"}
 	switch cmd {
 	case "all":
 		for _, name := range order {
@@ -237,4 +241,15 @@ func ablate() {
 	zcOff := experiments.Stream(experiments.SysSDUnopt, 1<<20, true, 40).BytesPerSec
 	fmt.Printf("zero copy ablation (intra-host 1MiB): remap %.1f Gbps, copy %.1f Gbps\n",
 		zcOn*8/1e9, zcOff*8/1e9)
+}
+
+func chaos() {
+	before := telemetry.Capture()
+	r := experiments.Chaos(240, 1024)
+	fmt.Println(r)
+	fmt.Println()
+	printDeltas("chaos counter deltas (whole workload)", telemetry.Capture().Diff(before))
+	if !r.Passed() {
+		os.Exit(1)
+	}
 }

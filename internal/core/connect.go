@@ -101,10 +101,16 @@ func (l *Libsd) buildEP(rl *rdmaLocal, peerHost string, m *ctlmsg.Msg) (*rdmaEP,
 		rl.side.PoolFree = free
 	}
 	rl.side.PeerHost = peerHost
-	rl.side.creditEP.Store(ep)
+	// Keep our own rkeys in the shared state: failure recovery hands the
+	// unchanged keys to the peer's replacement QP (the MRs survive).
+	rl.side.SelfRingRKey = rl.rxMR.RKey()
+	rl.side.SelfCreditRKey = rl.creditMR.RKey()
+	rl.side.SelfTailRKey = rl.tailMR.RKey()
+	rl.side.creditEP.Store(&creditBox{ep})
 	rl.side.RX.SetCreditHook(func(read uint64) {
-		if cep := rl.side.creditEP.Load(); cep != nil {
-			cep.creditHook(read)
+		rl.side.LastCreditOut.Store(read)
+		if cb := rl.side.creditEP.Load(); cb != nil {
+			cb.ep.creditHook(read)
 		}
 	})
 	// Register for completion dispatch BEFORE the QP can receive: a
@@ -520,10 +526,11 @@ func (l *Libsd) handleCtl(ctx exec.Context, m *ctlmsg.Msg) {
 		l.mu.Unlock()
 
 	case ctlmsg.KReQPPeer:
-		// A forked peer process needs a fresh QP spliced to this socket:
-		// create one more QP bound to the same rings ("the remote may see
-		// two or more QPs for one socket, but they link to the unique copy
-		// of socket metadata and buffer", §4.1.2).
+		// A peer process needs a fresh QP spliced to this socket: either a
+		// forked child re-establishing after fork ("the remote may see two
+		// or more QPs for one socket, but they link to the unique copy of
+		// socket metadata and buffer", §4.1.2), or failure recovery
+		// replacing a dead QP (Dir=ReQPRecovery; recover.go).
 		l.mu.Lock()
 		set := l.socks[m.QID]
 		var any *Socket
@@ -532,9 +539,13 @@ func (l *Libsd) handleCtl(ctx exec.Context, m *ctlmsg.Msg) {
 			break
 		}
 		l.mu.Unlock()
-		res := ctlmsg.Msg{Kind: ctlmsg.KReQPRes, QID: m.QID, Aux: m.Aux, PID: int64(l.P.PID)}
+		res := ctlmsg.Msg{Kind: ctlmsg.KReQPRes, QID: m.QID, Aux: m.Aux,
+			PID: int64(l.P.PID), ConnID: m.ConnID, Dir: m.Dir}
 		res.SetHost(l.H.Name)
-		if any == nil {
+		recovery := m.Dir == ctlmsg.ReQPRecovery
+		if any == nil || (recovery && any.side.Degraded.Load()) {
+			// No such socket here — or it already fell back to kernel TCP,
+			// in which case resurrecting an RDMA path would fork the stream.
 			res.Status = ctlmsg.StatusNoListener
 			l.sendCtl(ctx, &res)
 			return
@@ -559,21 +570,41 @@ func (l *Libsd) handleCtl(ctx exec.Context, m *ctlmsg.Msg) {
 		// any of the QPs is equivalent" for one-sided writes, and the new
 		// one is spliced to the process that will actually be reading.
 		l.mu.Lock()
+		var olds []*rdmaEP
 		for s := range l.socks[m.QID] {
+			if oe, ok := s.ep.(*rdmaEP); ok && oe != ep {
+				olds = append(olds, oe)
+			}
 			s.ep = ep
 		}
 		l.mu.Unlock()
-		any.side.creditEP.Store(ep)
+		any.side.creditEP.Store(&creditBox{ep})
+		if recovery {
+			// Unlike the fork flow (where the parent keeps using the old
+			// QP), recovery must retire the dead QP on both sides so a stale
+			// in-flight packet can never land in recycled ring offsets.
+			closed := make(map[*rdma.QP]bool)
+			for _, oe := range olds {
+				if !closed[oe.qp] {
+					closed[oe.qp] = true
+					oe.qp.Close()
+				}
+			}
+			// Re-mirror our unacked region and credit through the new QP:
+			// writes posted to the dead QP may never have landed.
+			ep.resync(ctx)
+		}
 		// Our own rkeys are unchanged (rings were already registered).
-		res.RingRKey = 0 // child keeps the rkeys it inherited
+		res.RingRKey = 0 // peer keeps the rkeys it already holds
 		res.QPN = qp.QPN()
 		l.sendCtl(ctx, &res)
 
 	case ctlmsg.KReQPRes:
 		l.mu.Lock()
 		for i := range l.reqp {
-			if l.reqp[i].qid == m.QID && !l.reqp[i].done {
+			if l.reqp[i].qid == m.QID && l.reqp[i].nonce == m.ConnID && !l.reqp[i].done {
 				l.reqp[i].done = true
+				l.reqp[i].status = m.Status
 				l.reqp[i].peerQPN = m.QPN
 				l.reqp[i].ringRKey = m.RingRKey
 				l.reqp[i].creditRKey = m.CreditRKey
@@ -582,6 +613,9 @@ func (l *Libsd) handleCtl(ctx exec.Context, m *ctlmsg.Msg) {
 			}
 		}
 		l.mu.Unlock()
+
+	case ctlmsg.KDegraded:
+		l.onDegraded(ctx, m)
 
 	case ctlmsg.KStealReq:
 		// Surrender one not-yet-accepted connection for re-dispatch.

@@ -24,6 +24,22 @@ type endpoint interface {
 	kick(ctx exec.Context)
 	// peerAlive reports whether the remote side can still make progress.
 	peerAlive() bool
+	// progress drives background work that must advance even when the
+	// data path is stuck: completion pumping, failure detection, QP
+	// re-establishment with backoff, TCP-fallback draining. Called from
+	// every send/recv wait loop; ctx may be nil (capability probes).
+	progress(ctx exec.Context)
+}
+
+// creditPoster mirrors a receiver's credit return into the peer sender's
+// view (an RDMA write, or a frame on the degraded TCP path).
+type creditPoster interface {
+	creditHook(read uint64)
+}
+
+// creditBox wraps the current creditPoster for atomic.Pointer storage.
+type creditBox struct {
+	ep creditPoster
 }
 
 // --- intra-host: shared memory, cache-coherent, zero software between the
@@ -59,6 +75,8 @@ func (e *shmEP) kick(ctx exec.Context) {
 	}
 }
 
+func (e *shmEP) progress(ctx exec.Context) {}
+
 func (e *shmEP) peerAlive() bool {
 	pid := e.side.PeerPID.Load()
 	if pid == 0 {
@@ -87,6 +105,13 @@ type rdmaEP struct {
 	inflight    atomic.Int32
 	batching    bool // false disables adaptive batching (SD-unopt ablation)
 	peerDeadFlg atomic.Bool
+
+	// failed latches when the QP dies (retry exhaustion, flush). The data
+	// path keeps accepting sends into the local ring copy (§4.2: the TX
+	// ring IS the retransmit buffer) while the recovery state machine in
+	// recover.go re-establishes a QP or degrades to kernel TCP.
+	failed atomic.Bool
+	rec    recoverState
 }
 
 const (
@@ -168,6 +193,9 @@ func (e *rdmaEP) canRecv() bool {
 
 func (e *rdmaEP) kick(ctx exec.Context) {}
 
+// peerAlive stays true through a transport failure: a dead QP means a dead
+// path, not a dead peer. Only a failed degradation (the peer is
+// unreachable even over kernel TCP) or an explicit HUP flips it.
 func (e *rdmaEP) peerAlive() bool { return !e.peerDeadFlg.Load() }
 
 // onRecvCQE handles an incoming write-imm completion: the immediate is
@@ -175,7 +203,7 @@ func (e *rdmaEP) peerAlive() bool { return !e.peerDeadFlg.Load() }
 // visible, and the CQ arm wakes any sleeper.
 func (e *rdmaEP) onRecvCQE(cqe rdma.CQE) {
 	if cqe.Status != rdma.WCSuccess {
-		e.peerDeadFlg.Store(true)
+		e.markFailed()
 		return
 	}
 	if cqe.Op == rdma.OpWriteImm {
@@ -186,7 +214,7 @@ func (e *rdmaEP) onRecvCQE(cqe rdma.CQE) {
 // onSendCQE releases pipeline slots and flushes coalesced bytes.
 func (e *rdmaEP) onSendCQE(ctx exec.Context, cqe rdma.CQE) {
 	if cqe.Status != rdma.WCSuccess {
-		e.peerDeadFlg.Store(true)
+		e.markFailed()
 		return
 	}
 	if cqe.WRID != wrData {

@@ -63,6 +63,7 @@ func (l *Libsd) Fork(ctx exec.Context, t *host.Thread, name string) (*host.Proce
 		return nil, nil, err
 	}
 	cl.batching = l.batching
+	cl.recoveryBudget = l.recoveryBudget
 
 	// Step 4: duplicate the FD remapping table. Socket refcounts grow; the
 	// child's socket objects share the SHM-resident SideState but build
@@ -161,16 +162,14 @@ func (f *forkedRdmaEP) materialize(ctx exec.Context) *rdmaEP {
 	req.SetHost(side.PeerHost)
 	f.lib.mu.Lock()
 	f.lib.reqp = append(f.lib.reqp, pendingReQP{qid: side.QID, done: false})
-	idx := len(f.lib.reqp) - 1
 	f.lib.mu.Unlock()
 	f.lib.sendCtl(ctx, &req)
 	var ep *rdmaEP
 	for {
 		f.lib.pollCtl(ctx)
-		f.lib.mu.Lock()
-		pr := f.lib.reqp[idx]
-		f.lib.mu.Unlock()
-		if pr.done {
+		// Fork-flow entries carry nonce 0 (recovery attempts in recover.go
+		// use unique nonces, so the flows cannot cross-match).
+		if pr, done := f.lib.takeReQP(side.QID, 0); done {
 			f.peerQPN = pr.peerQPN
 			// Peer rkeys may be refreshed too (the peer re-registered).
 			if pr.ringRKey != 0 {
@@ -182,7 +181,7 @@ func (f *forkedRdmaEP) materialize(ctx exec.Context) *rdmaEP {
 				tailRKey: f.tailRKey,
 				batching: f.lib.batching,
 			}
-			side.creditEP.Store(ep)
+			side.creditEP.Store(&creditBox{ep})
 			f.lib.registerEP(ep) // before Connect: see buildEP
 			qp.Connect(pr.peerHost, f.peerQPN)
 			break
@@ -210,6 +209,11 @@ func (f *forkedRdmaEP) canRecv() bool {
 	return f.real.canRecv()
 }
 func (f *forkedRdmaEP) kick(ctx exec.Context) {}
+func (f *forkedRdmaEP) progress(ctx exec.Context) {
+	if f.real != nil {
+		f.real.progress(ctx)
+	}
+}
 func (f *forkedRdmaEP) peerAlive() bool {
 	if f.real == nil {
 		return true
@@ -219,7 +223,9 @@ func (f *forkedRdmaEP) peerAlive() bool {
 
 type pendingReQP struct {
 	qid        uint64
+	nonce      uint64 // 0 = fork flow; recovery attempts carry a unique id
 	done       bool
+	status     uint8 // ctlmsg status from the KReQPRes (recovery flow)
 	peerQPN    uint32
 	ringRKey   uint64
 	creditRKey uint64

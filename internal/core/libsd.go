@@ -94,8 +94,14 @@ type Libsd struct {
 	// series in Figures 7-9).
 	batching bool
 
-	// reqp tracks in-flight post-fork QP re-establishments.
-	reqp []pendingReQP
+	// reqp tracks in-flight QP re-establishments (post-fork, nonce 0, and
+	// failure recovery, matched by nonce).
+	reqp      []pendingReQP
+	reqpNonce uint64 // last recovery-attempt nonce issued (under mu)
+
+	// recoveryBudget is how many failed QP re-establishment attempts a
+	// socket spends before degrading to kernel TCP (§4.5.3).
+	recoveryBudget int
 
 	// forkAcks records monitor-acknowledged fork secrets.
 	forkAcks map[uint64]bool
@@ -158,6 +164,8 @@ func initWith(p *host.Process, link *ProcLink) (*Libsd, error) {
 		epolls:   make(map[*Epoll]struct{}),
 		forkAcks: make(map[uint64]bool),
 		batching: true,
+
+		recoveryBudget: DefaultRecoveryBudget,
 	}
 	l.pd = p.Host.NIC.AllocPD()
 	l.armAutoPump()

@@ -207,8 +207,16 @@ func (s *Socket) sendMsgT(ctx exec.Context, t *host.Thread, typ uint8, a, b []by
 		if s.side.RxShut.Load() && s.side.TxShut.Load() {
 			return ErrShutdown
 		}
-		s.lib.pump(ctx)
+		s.ep.progress(ctx) // pump + failure recovery / degraded-path I/O
 		s.lib.pollCtl(ctx)
+		// A transport failure leaves the ring full until recovery or
+		// degradation succeeds; throttle the retry loop so virtual time
+		// advances (deadlines and backoff timers live on the clock).
+		if rep, ok := s.ep.(*rdmaEP); ok && rep.failed.Load() {
+			ctx.Sleep(recoveryPollInterval)
+		} else if _, ok := s.ep.(*tcpEP); ok {
+			ctx.Sleep(degradedPollInterval)
+		}
 		if t != nil {
 			// Blocked on a full ring: honor a pending token revocation and
 			// rejoin the FIFO rather than starving the waiter (§4.1.1).
@@ -297,6 +305,21 @@ func (s *Socket) blockOnRecv(ctx exec.Context, t *host.Thread) error {
 			}
 		}
 		ctx.Charge(s.lib.H.Costs.RingOp)
+		// Failure paths never park: a failed endpoint needs this loop to
+		// drive its own recovery, and the degraded TCP path has no
+		// doorbell into libsd. Throttled polling instead of interrupt mode.
+		if rep, ok := s.ep.(*rdmaEP); ok && rep.failed.Load() {
+			s.ep.progress(ctx)
+			ctx.Sleep(recoveryPollInterval)
+			empty = 0
+			continue
+		}
+		if _, ok := s.ep.(*tcpEP); ok {
+			s.ep.progress(ctx)
+			ctx.Sleep(degradedPollInterval)
+			empty = 0
+			continue
+		}
 		empty++
 		if empty < emptyPollsBeforeSleep {
 			ctx.Yield()

@@ -112,8 +112,25 @@ type SideState struct {
 	// TxFlushed is how far the TX ring has been mirrored to the peer.
 	TxFlushed atomic.Uint64
 	// creditEP posts credit-return writes for the RX ring; the current
-	// receive-token holder installs its endpoint here.
-	creditEP atomic.Pointer[rdmaEP]
+	// receive-token holder installs its endpoint here. Boxed behind an
+	// interface so the degraded (kernel-TCP) endpoint can stand in for the
+	// RDMA one.
+	creditEP atomic.Pointer[creditBox]
+	// LastCreditOut is the most recent credit value this side published to
+	// the peer; recovery re-posts it (a credit write lost to the fault would
+	// otherwise shrink the peer's send window forever).
+	LastCreditOut atomic.Uint64
+
+	// Self*RKey are this side's own MR rkeys (RX ring, CreditIn, TailIn),
+	// kept so failure recovery can hand the unchanged keys to the peer's
+	// replacement QP without re-registering anything.
+	SelfRingRKey   uint64
+	SelfCreditRKey uint64
+	SelfTailRKey   uint64
+
+	// Degraded latches once the socket has fallen back to kernel TCP
+	// mid-stream (§4.5.3); there is no way back to RDMA for this socket.
+	Degraded atomic.Bool
 
 	// Remote zero-copy pool (sender-managed free slots, Fig. 5b). Access
 	// is serialized by the send token; the mutex guards fork hand-off.

@@ -35,6 +35,8 @@ const (
 	KReQP                        // libsd -> monitor: re-establish a QP after fork
 	KReQPPeer                    // monitor -> peer libsd: attach an extra QP
 	KReQPRes                     // peer libsd -> monitor -> libsd: new remote QPN
+	KDegrade                     // libsd -> monitor: fall back to kernel TCP (§4.5.3)
+	KDegraded                    // monitor -> libsd: rescue TCP socket installed (Aux=fd)
 )
 
 // kindNames maps Kind values to stable lower-case names (telemetry keys,
@@ -62,10 +64,21 @@ var kindNames = [...]string{
 	KReQP:        "reqp",
 	KReQPPeer:    "reqp_peer",
 	KReQPRes:     "reqp_res",
+	KDegrade:     "degrade",
+	KDegraded:    "degraded",
 }
 
 // NumKinds is one past the highest defined Kind (array sizing).
-const NumKinds = int(KReQPRes) + 1
+const NumKinds = int(KDegraded) + 1
+
+// Dir values for KReQP/KReQPPeer: a QP re-establishment is either the
+// fork flow of §4.1.2 (the old QP stays alive — the parent still uses it)
+// or the failure-recovery flow, where both sides must close the dead QP so
+// stale packets can never land in recycled ring offsets.
+const (
+	ReQPFork     uint8 = 0
+	ReQPRecovery uint8 = 1
+)
 
 // String returns the kind's stable lower-case name.
 func (k Kind) String() string {

@@ -76,13 +76,23 @@ type Endpoint struct {
 	nextFree int64 // when the TX wire is next idle
 	rng      *rand.Rand
 	stats    counters
+
+	// Runtime-mutable fault knobs (initialized from cfg; see SetLossRate
+	// and friends). Fault injection mutates them mid-run, so the TX path
+	// reads them instead of cfg.
+	lossRate     float64
+	jitterNs     int64
+	extraDelayNs int64 // added one-way delay (delay-spike injection)
+	partitioned  bool  // drop everything (full partition)
 }
 
 // NewLink creates a full-duplex link between two new endpoints with
 // symmetric configuration.
 func NewLink(clk exec.Clock, nameA, nameB string, cfg Config) (*Endpoint, *Endpoint) {
-	a := &Endpoint{clk: clk, name: nameA, cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed ^ 0x5a5a))}
-	b := &Endpoint{clk: clk, name: nameB, cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed ^ 0xa5a5))}
+	a := &Endpoint{clk: clk, name: nameA, cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed ^ 0x5a5a)),
+		lossRate: cfg.LossRate, jitterNs: cfg.JitterNs}
+	b := &Endpoint{clk: clk, name: nameB, cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed ^ 0xa5a5)),
+		lossRate: cfg.LossRate, jitterNs: cfg.JitterNs}
 	a.peer, b.peer = b, a
 	return a, b
 }
@@ -90,9 +100,40 @@ func NewLink(clk exec.Clock, nameA, nameB string, cfg Config) (*Endpoint, *Endpo
 // NewLoopback creates an endpoint whose frames hairpin back to itself
 // (CPU→NIC→CPU within a host, the intra-host path of RSocket/LibVMA).
 func NewLoopback(clk exec.Clock, name string, cfg Config) *Endpoint {
-	e := &Endpoint{clk: clk, name: name, cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed ^ 0x10b))}
+	e := &Endpoint{clk: clk, name: name, cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed ^ 0x10b)),
+		lossRate: cfg.LossRate, jitterNs: cfg.JitterNs}
 	e.peer = e
 	return e
+}
+
+// SetLossRate changes the drop probability at runtime (fault injection).
+func (e *Endpoint) SetLossRate(p float64) {
+	e.mu.Lock()
+	e.lossRate = p
+	e.mu.Unlock()
+}
+
+// SetJitter changes the uniform extra-delay bound at runtime.
+func (e *Endpoint) SetJitter(ns int64) {
+	e.mu.Lock()
+	e.jitterNs = ns
+	e.mu.Unlock()
+}
+
+// SetExtraDelay adds a fixed one-way delay on top of PropDelay (delay
+// spikes). Zero restores the configured latency.
+func (e *Endpoint) SetExtraDelay(ns int64) {
+	e.mu.Lock()
+	e.extraDelayNs = ns
+	e.mu.Unlock()
+}
+
+// SetPartitioned blackholes the TX direction entirely while true. Frames
+// sent during a partition count as drops.
+func (e *Endpoint) SetPartitioned(on bool) {
+	e.mu.Lock()
+	e.partitioned = on
+	e.mu.Unlock()
 }
 
 // SetHandler installs the receive pipeline. Must be set before traffic.
@@ -126,7 +167,7 @@ func (e *Endpoint) Send(frame any, payloadBytes int) {
 	mTxBytes.Add(int64(payloadBytes))
 
 	e.mu.Lock()
-	if e.cfg.LossRate > 0 && e.rng.Float64() < e.cfg.LossRate {
+	if e.partitioned || (e.lossRate > 0 && e.rng.Float64() < e.lossRate) {
 		e.stats.drops.Add(1)
 		mDrops.Inc()
 		e.mu.Unlock()
@@ -141,9 +182,9 @@ func (e *Endpoint) Send(frame any, payloadBytes int) {
 		start = now
 	}
 	e.nextFree = start + ser
-	deliverAt := e.nextFree + e.cfg.PropDelay
-	if e.cfg.JitterNs > 0 {
-		deliverAt += e.rng.Int63n(e.cfg.JitterNs)
+	deliverAt := e.nextFree + e.cfg.PropDelay + e.extraDelayNs
+	if e.jitterNs > 0 {
+		deliverAt += e.rng.Int63n(e.jitterNs)
 	}
 	peer := e.peer
 	e.mu.Unlock()

@@ -1,0 +1,132 @@
+package fault
+
+import (
+	"testing"
+
+	"socksdirect/internal/exec"
+	"socksdirect/internal/fabric"
+)
+
+// countingLink wires a link whose receive side counts deliveries.
+func countingLink(s *exec.Sim) (a, b *fabric.Endpoint, got *int) {
+	a, b = fabric.NewLink(s.Clock(), "A", "B", fabric.Config{PropDelay: 10})
+	n := new(int)
+	b.SetHandler(func(any, int) { *n++ })
+	a.SetHandler(func(any, int) {})
+	return a, b, n
+}
+
+func TestPartitionDropsThenHeals(t *testing.T) {
+	s := exec.NewSim(exec.SimConfig{})
+	a, _, got := countingLink(s)
+	in := New(s.Clock())
+	in.AddLink("ab", a)
+	if err := in.Run([]Event{{At: 100, Kind: Partition, Link: "ab", Dur: 1000}}); err != nil {
+		t.Fatal(err)
+	}
+	s.Spawn("tx", func(ctx exec.Context) {
+		a.Send("before", 1)
+		ctx.Sleep(500) // mid-partition
+		a.Send("dropped", 1)
+		ctx.Sleep(1000) // healed
+		a.Send("after", 1)
+	})
+	s.Run()
+	if *got != 2 {
+		t.Fatalf("delivered %d frames, want 2 (partition must drop exactly the middle one)", *got)
+	}
+	if a.Stats().Drops != 1 {
+		t.Fatalf("drops = %d, want 1", a.Stats().Drops)
+	}
+}
+
+func TestLossBurstIsTemporary(t *testing.T) {
+	s := exec.NewSim(exec.SimConfig{})
+	a, _, got := countingLink(s)
+	in := New(s.Clock())
+	in.AddLink("ab", a)
+	if err := in.Run([]Event{{At: 0, Kind: LossBurst, Link: "ab", Rate: 1, Dur: 100}}); err != nil {
+		t.Fatal(err)
+	}
+	s.Spawn("tx", func(ctx exec.Context) {
+		ctx.Sleep(50)
+		a.Send("lost", 1)
+		ctx.Sleep(100)
+		for i := 0; i < 10; i++ {
+			a.Send("ok", 1)
+		}
+	})
+	s.Run()
+	if *got != 10 {
+		t.Fatalf("delivered %d, want 10", *got)
+	}
+}
+
+func TestDelaySpikeShiftsDelivery(t *testing.T) {
+	s := exec.NewSim(exec.SimConfig{})
+	clk := s.Clock()
+	a, b := fabric.NewLink(clk, "A", "B", fabric.Config{PropDelay: 10})
+	var deliveredAt int64
+	b.SetHandler(func(any, int) { deliveredAt = clk.Now() })
+	in := New(clk)
+	in.AddLink("ab", a, b)
+	if err := in.Run([]Event{{At: 0, Kind: DelaySpike, Link: "ab", Delay: 5000, Dur: 200}}); err != nil {
+		t.Fatal(err)
+	}
+	s.Spawn("tx", func(ctx exec.Context) {
+		ctx.Sleep(100)
+		a.Send("slow", 1)
+	})
+	s.Run()
+	if deliveredAt != 100+10+5000 {
+		t.Fatalf("delivered at %d, want %d", deliveredAt, 100+10+5000)
+	}
+}
+
+func TestFlapCyclesAndHooks(t *testing.T) {
+	s := exec.NewSim(exec.SimConfig{})
+	a, _, got := countingLink(s)
+	in := New(s.Clock())
+	in.AddLink("ab", a)
+	hookFired := 0
+	in.AddHook("nicA", func() { hookFired++ })
+	err := in.Run([]Event{
+		{At: 0, Kind: Flap, Link: "ab", Dur: 100, Gap: 100, Count: 3},
+		{At: 1000, Kind: QPError, Hook: "nicA"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Spawn("tx", func(ctx exec.Context) {
+		// Send every 50ns across the flap window: down [0,100) up [100,200)
+		// down [200,300) up [300,400) down [400,500) then up for good.
+		for i := 0; i < 14; i++ {
+			a.Send(i, 1)
+			ctx.Sleep(50)
+		}
+	})
+	s.Run()
+	if hookFired != 1 {
+		t.Fatalf("hook fired %d times, want 1", hookFired)
+	}
+	// Sends at t=0,50 | 200,250 | 400,450 are dropped (6 of 14).
+	if *got != 8 {
+		t.Fatalf("delivered %d, want 8", *got)
+	}
+	if a.Stats().Drops != 6 {
+		t.Fatalf("drops = %d, want 6", a.Stats().Drops)
+	}
+}
+
+func TestUnknownTargetsRejected(t *testing.T) {
+	in := New(exec.NewSim(exec.SimConfig{}).Clock())
+	if err := in.Run([]Event{{Kind: Partition, Link: "nope"}}); err == nil {
+		t.Fatal("unregistered link accepted")
+	}
+	if err := in.Run([]Event{{Kind: QPError, Hook: "nope"}}); err == nil {
+		t.Fatal("unregistered hook accepted")
+	}
+	if err := in.Run([]Event{{Kind: "bogus"}}); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}

@@ -14,6 +14,8 @@ var (
 	mProbesOK      = telemetry.C(telemetry.MonProbesOK)
 	mProbesFailed  = telemetry.C(telemetry.MonProbesFailed)
 	mWakes         = telemetry.C(telemetry.MonWakes)
+	mMchanHeals    = telemetry.C(telemetry.MonMchanHeals)
+	mRescues       = telemetry.C(telemetry.MonRescues)
 
 	// mCtlByKind indexes a per-kind counter by ctlmsg.Kind, so counting a
 	// control message is two atomic adds and no map lookup.

@@ -22,6 +22,7 @@ import (
 	"socksdirect/internal/exec"
 	"socksdirect/internal/host"
 	"socksdirect/internal/ksocket"
+	"socksdirect/internal/rdma"
 	"socksdirect/internal/shm"
 	"socksdirect/internal/telemetry"
 )
@@ -50,11 +51,15 @@ type Monitor struct {
 	remotePend map[uint64]remotePendEntry // connID -> routing for inter-host setup
 	mchans     map[string]*mchan          // remote host -> channel
 	probes     map[string][]*ctlmsg.Msg   // host -> queued connects awaiting mchan
+	probing    map[string]bool            // host -> probe in flight (dedup)
+	mqueue     map[string][]*ctlmsg.Msg   // host -> ctl msgs awaiting a healed mchan
 	probeSeq   uint16
 	probeDone  []probeResult
 	stealSeq   uint64
 	steals     map[uint64]stealReq
-	reqpRoute  map[uint64]string // qid -> requester host for KReQPRes routing
+	reqpRoute  map[uint64]string        // qid -> requester host for KReQPRes routing
+	sleepers   map[int]map[int]struct{} // pid -> tids parked in interrupt mode
+	rescueL    *ksocket.Listener        // TCP listener for mid-stream degradation (§4.5.3)
 
 	thread  exec.Thread
 	parked  bool
@@ -115,13 +120,22 @@ func Start(h *host.Host, ks *ksocket.Stack) *Monitor {
 		remotePend: make(map[uint64]remotePendEntry),
 		mchans:     make(map[string]*mchan),
 		probes:     make(map[string][]*ctlmsg.Msg),
+		probing:    make(map[string]bool),
+		mqueue:     make(map[string][]*ctlmsg.Msg),
 		steals:     make(map[uint64]stealReq),
 		reqpRoute:  make(map[uint64]string),
+		sleepers:   make(map[int]map[int]struct{}),
 		probeSeq:   9000,
 	}
 	h.Mon = m
 	if ks != nil {
 		ks.TCP().SetSynFilter(m.synFilter)
+		// Rescue listener: accepts the kernel TCP connections that replace
+		// a failed RDMA path mid-stream (§4.5.3; see core/tcpep.go).
+		if rl, err := ks.Listen(rescuePort); err == nil {
+			rl.SetNotify(m.wake)
+			m.rescueL = rl
+		}
 	}
 	m.thread = h.RT.SpawnOn(h.NextCore(), h.Name+"/monitor", m.run)
 	return m
@@ -241,6 +255,10 @@ func (m *Monitor) run(ctx exec.Context) {
 				progress = true
 			}
 		}
+		if m.rescueL != nil && m.rescueL.PendingHint() > 0 {
+			m.acceptRescue(ctx)
+			progress = true
+		}
 
 		if progress {
 			idle = 0
@@ -305,7 +323,19 @@ func (m *Monitor) handle(ctx exec.Context, pc *procChan, cm *ctlmsg.Msg) {
 	case ctlmsg.KWake:
 		m.wakeThread(int(cm.PID), int(cm.TID))
 	case ctlmsg.KSleepNote:
-		// informational
+		// Record the parked thread so recovery-path control messages
+		// (KReQPPeer/KReQPRes/KDegraded) can nudge it: a process whose only
+		// RDMA path is dead has no CQE or ring doorbell left to wake it.
+		m.mu.Lock()
+		ts := m.sleepers[int(cm.PID)]
+		if ts == nil {
+			ts = make(map[int]struct{})
+			m.sleepers[int(cm.PID)] = ts
+		}
+		ts[int(cm.TID)] = struct{}{}
+		m.mu.Unlock()
+	case ctlmsg.KDegrade:
+		m.onDegrade(ctx, pc, cm)
 	case ctlmsg.KAcceptHint:
 		m.onAcceptHint(ctx, pc, cm)
 	case ctlmsg.KStealRes:
@@ -315,13 +345,9 @@ func (m *Monitor) handle(ctx exec.Context, pc *procChan, cm *ctlmsg.Msg) {
 		// client's monitor.
 		m.mu.Lock()
 		entry, ok := m.remotePend[cm.ConnID]
-		mc := m.mchans[entry.clientHost]
 		m.mu.Unlock()
-		if ok && mc != nil {
-			mc.send(cm)
-		} else if ok && entry.clientHost == m.H.Name {
-			// Same-host RDMA setup is not a real configuration; ignore.
-			_ = entry
+		if ok && entry.clientHost != m.H.Name {
+			m.mchanSend(ctx, entry.clientHost, cm, true)
 		}
 	case ctlmsg.KReQP:
 		m.onReQP(ctx, pc, cm)
@@ -330,11 +356,58 @@ func (m *Monitor) handle(ctx exec.Context, pc *procChan, cm *ctlmsg.Msg) {
 		// host monitor.
 		m.mu.Lock()
 		dst := m.reqpRoute[cm.QID]
-		mc := m.mchans[dst]
 		m.mu.Unlock()
-		if mc != nil {
-			mc.send(cm)
+		if dst != "" {
+			// Not queued on a dead channel: the requester re-sends KReQP on
+			// its recovery deadline, regenerating this response.
+			m.mchanSend(ctx, dst, cm, false)
 		}
+	}
+}
+
+// mchanSend delivers cm to dst's monitor over the monitor channel, healing
+// the channel first if its QP died (e.g. after a network partition killed
+// it mid-stream). With queue set, the message parks in mqueue and is
+// flushed once a fresh channel is probed; otherwise it is dropped — used
+// for messages the far end regenerates on retry — but a heal probe is
+// still launched so the retry finds a working channel.
+func (m *Monitor) mchanSend(ctx exec.Context, dst string, cm *ctlmsg.Msg, queue bool) {
+	m.mu.Lock()
+	mc := m.mchans[dst]
+	if mc != nil && mc.qp.State() == rdma.QPErr {
+		delete(m.mchans, dst)
+		mMchanHeals.Inc()
+		mc = nil
+	}
+	if mc != nil {
+		m.mu.Unlock()
+		mc.send(cm)
+		return
+	}
+	if queue {
+		cp := *cm
+		m.mqueue[dst] = append(m.mqueue[dst], &cp)
+	}
+	launch := !m.probing[dst]
+	if launch {
+		m.probing[dst] = true
+	}
+	m.mu.Unlock()
+	if launch {
+		m.probe(ctx, dst)
+	}
+}
+
+// wakeSleepers unparks every thread of pid that reported itself asleep via
+// KSleepNote. Spurious wakes are fine (blockOnRecv re-checks and re-parks);
+// missing a wake is not, since a process with a dead QP gets no doorbell.
+func (m *Monitor) wakeSleepers(pid int) {
+	m.mu.Lock()
+	tids := m.sleepers[pid]
+	delete(m.sleepers, pid)
+	m.mu.Unlock()
+	for tid := range tids {
+		m.wakeThread(pid, tid)
 	}
 }
 
@@ -389,10 +462,12 @@ func (m *Monitor) handleRemote(ctx exec.Context, mc *mchan, cm *ctlmsg.Msg) {
 		m.mu.Unlock()
 		if owner != 0 {
 			m.sendTo(ctx, owner, cm, true)
+			m.wakeSleepers(owner)
 		}
 	case ctlmsg.KReQPRes:
-		// Back at the forked child's host: deliver to the requester.
+		// Back at the requester's host: deliver to the requester.
 		m.sendTo(ctx, int(cm.Aux), cm, true)
+		m.wakeSleepers(int(cm.Aux))
 	}
 }
 
@@ -483,6 +558,13 @@ func (m *Monitor) onConnect(ctx exec.Context, pc *procChan, cm *ctlmsg.Msg) {
 	m.connOwner[cm.ConnID] = int(cm.PID)
 	m.remotePend[cm.ConnID] = remotePendEntry{clientPID: int(cm.PID)}
 	mc := m.mchans[dst]
+	if mc != nil && mc.qp.State() == rdma.QPErr {
+		// The channel's QP died (partition, injected fault): drop it and
+		// fall through to the probe path, which re-establishes it.
+		delete(m.mchans, dst)
+		mMchanHeals.Inc()
+		mc = nil
+	}
 	m.mu.Unlock()
 	if mc != nil {
 		fwd := *cm
@@ -491,14 +573,16 @@ func (m *Monitor) onConnect(ctx exec.Context, pc *procChan, cm *ctlmsg.Msg) {
 		mc.send(&fwd)
 		return
 	}
-	// No channel yet: probe the peer (special-option SYN) and queue the
-	// connect until the probe resolves.
+	// No (usable) channel: probe the peer (special-option SYN) and queue
+	// the connect until the probe resolves.
 	m.mu.Lock()
-	q := m.probes[dst]
-	m.probes[dst] = append(q, cm)
-	first := len(q) == 0
+	m.probes[dst] = append(m.probes[dst], cm)
+	launch := !m.probing[dst]
+	if launch {
+		m.probing[dst] = true
+	}
 	m.mu.Unlock()
-	if first {
+	if launch {
 		m.probe(ctx, dst)
 	}
 }
@@ -696,10 +780,7 @@ func (m *Monitor) onReQP(ctx exec.Context, pc *procChan, cm *ctlmsg.Msg) {
 		// Intra-host RDMA does not exist; nothing to do.
 		return
 	}
-	m.mu.Lock()
-	mc := m.mchans[peerHost]
-	m.mu.Unlock()
-	if mc != nil {
-		mc.send(&fwd)
-	}
+	// Dropped (not queued) if the channel is dead: the requester re-sends
+	// KReQP on its recovery deadline, and the probe heals the channel.
+	m.mchanSend(ctx, peerHost, &fwd, false)
 }

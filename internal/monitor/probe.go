@@ -34,14 +34,21 @@ type probeResult struct {
 
 // probe sends a special-option SYN toward dst through the raw socket. The
 // destination port is that of the first queued connect, so a non-SD peer's
-// half-open connection can be completed and repaired into the client.
+// half-open connection can be completed and repaired into the client. A
+// heal probe (re-establishing a dead monitor channel, no queued connects)
+// targets the discard port instead: an SD peer's synFilter answers any
+// port, and a non-SD answer just resolves the probe as failed.
 func (m *Monitor) probe(ctx exec.Context, dst string) {
 	m.mu.Lock()
 	queued := m.probes[dst]
 	m.mu.Unlock()
-	if m.KS == nil || len(queued) == 0 {
+	if m.KS == nil {
 		m.finishProbes(ctx, dst, probeResult{dst: dst, kind: probeTimeoutKind})
 		return
+	}
+	dport := uint16(9) // discard, for heal probes
+	if len(queued) > 0 {
+		dport = queued[0].Port
 	}
 	st := m.KS.TCP()
 	m.mu.Lock()
@@ -85,7 +92,7 @@ func (m *Monitor) probe(ctx exec.Context, dst string) {
 		m.queueProbeResult(pr)
 	})
 	st.Inject(&tcpstack.Segment{
-		DstHost: dst, SrcPort: sport, DstPort: queued[0].Port,
+		DstHost: dst, SrcPort: sport, DstPort: dport,
 		Seq: 0, Flags: tcpstack.FSYN, Options: opts,
 	})
 	m.H.Clk.After(probeTimeout, func() {
@@ -111,6 +118,9 @@ func (m *Monitor) finishProbes(ctx exec.Context, dst string, pr probeResult) {
 	m.mu.Lock()
 	queued := m.probes[dst]
 	delete(m.probes, dst)
+	parked := m.mqueue[dst]
+	delete(m.mqueue, dst)
+	delete(m.probing, dst)
 	m.mu.Unlock()
 	if m.KS != nil && pr.sport != 0 {
 		// Release the raw port: a repaired connection reuses it as an
@@ -128,6 +138,10 @@ func (m *Monitor) finishProbes(ctx exec.Context, dst string, pr probeResult) {
 		m.mu.Lock()
 		m.mchans[dst] = pr.mc
 		m.mu.Unlock()
+		// Flush control messages parked while the channel was dead.
+		for _, qm := range parked {
+			pr.mc.send(qm)
+		}
 		// Re-drive every queued connect through the RDMA path.
 		for _, cm := range queued {
 			m.mu.Lock()

@@ -157,12 +157,23 @@ func (qp *QP) Connect(remoteHost string, remoteQPN uint32) error {
 // Close flushes outstanding work and removes the QP from the NIC.
 func (qp *QP) Close() {
 	qp.mu.Lock()
-	pend := qp.toErrorLocked()
+	pend := qp.toErrorLocked(WCFlushErr)
 	qp.mu.Unlock()
 	emit(pend)
 	qp.nic.mu.Lock()
 	delete(qp.nic.qps, qp.qpn)
 	qp.nic.mu.Unlock()
+}
+
+// ForceError moves the QP to error state as if the hardware had detected a
+// fatal condition (fault injection / catastrophic NIC events). Outstanding
+// send WRs flush with WCFlushErr; the QP stays registered on the NIC so
+// late frames are still recognized (and ignored, state != RTS).
+func (qp *QP) ForceError() {
+	qp.mu.Lock()
+	pend := qp.toErrorLocked(WCFlushErr)
+	qp.mu.Unlock()
+	emit(pend)
 }
 
 // pendCQE is a completion waiting to be pushed once qp.mu is released —
@@ -179,14 +190,20 @@ func emit(pend []pendCQE) {
 	}
 }
 
-func (qp *QP) toErrorLocked() []pendCQE {
+// toErrorLocked performs the full transition to QPErr: outstanding send
+// WRs complete with compStatus (WCFlushErr for an administrative flush,
+// WCRetryExceeded when the transport gave up), posted receive WQEs flush
+// with WCFlushErr, the transmit window is discarded, and rtoGen advances
+// so stale timers become no-ops. Caller must emit() the returned CQEs
+// after releasing qp.mu.
+func (qp *QP) toErrorLocked(compStatus uint8) []pendCQE {
 	if qp.state == QPErr {
 		return nil
 	}
 	qp.state = QPErr
 	var pend []pendCQE
 	for _, c := range qp.comps {
-		pend = append(pend, pendCQE{qp.sendCQ, CQE{WRID: c.wrid, QPN: qp.qpn, Op: c.op, Status: WCFlushErr}})
+		pend = append(pend, pendCQE{qp.sendCQ, CQE{WRID: c.wrid, QPN: qp.qpn, Op: c.op, Status: compStatus}})
 	}
 	qp.comps = nil
 	qp.inflight = nil
@@ -313,26 +330,29 @@ func (qp *QP) armRTOLocked() {
 
 func (qp *QP) onTimeout(gen uint64) {
 	qp.mu.Lock()
-	defer qp.mu.Unlock()
 	if gen != qp.rtoGen {
+		qp.mu.Unlock()
 		return
 	}
 	qp.rtoArmed = false
 	if qp.state != QPRTS || len(qp.inflight) == 0 {
+		qp.mu.Unlock()
 		return
 	}
 	if qp.sndUna > qp.unaAtArm {
 		// Progress since arming: not a stall, just keep watching.
 		qp.armRTOLocked()
+		qp.mu.Unlock()
 		return
 	}
 	qp.retries++
 	if qp.retries > MaxRetry {
-		for _, c := range qp.comps {
-			qp.sendCQ.push(CQE{WRID: c.wrid, QPN: qp.qpn, Op: c.op, Status: WCRetryExceeded})
-		}
-		qp.comps = nil
-		qp.state = QPErr
+		// Retry budget exhausted: full error transition. The timed-out
+		// send WRs keep WCRetryExceeded; CQ notify callbacks may re-enter
+		// the QP, so the CQEs go out only after qp.mu is released.
+		pend := qp.toErrorLocked(WCRetryExceeded)
+		qp.mu.Unlock()
+		emit(pend)
 		return
 	}
 	// go-back-N: retransmit everything unacked.
@@ -346,6 +366,7 @@ func (qp *QP) onTimeout(gen uint64) {
 		mPacketsTx.Inc()
 	}
 	qp.armRTOLocked()
+	qp.mu.Unlock()
 }
 
 // onAck processes a cumulative acknowledgment.
@@ -433,13 +454,13 @@ func (qp *QP) onData(p *packet) {
 		if mr == nil {
 			// Remote access violation: hardware would move the QP to
 			// error; we mirror that.
-			pend = qp.toErrorLocked()
+			pend = qp.toErrorLocked(WCFlushErr)
 			qp.mu.Unlock()
 			emit(pend)
 			return
 		}
 		if err := mr.writeAt(p.raddr, p.payload); err != nil {
-			pend = qp.toErrorLocked()
+			pend = qp.toErrorLocked(WCFlushErr)
 			qp.mu.Unlock()
 			emit(pend)
 			return
@@ -457,6 +478,19 @@ func (qp *QP) onData(p *packet) {
 			mRNR.Inc()
 		} else {
 			w := &qp.recvQ[0]
+			if w.fill+len(p.payload) > len(w.buf) {
+				// The message overruns the posted receive buffer. Real
+				// hardware completes the WQE with a local length error and
+				// moves the QP to error; a short successful Len would
+				// silently truncate the message.
+				cqe := CQE{WRID: w.wrid, QPN: qp.qpn, Op: OpSend, Status: WCLocalLenErr}
+				qp.recvQ = qp.recvQ[:copy(qp.recvQ, qp.recvQ[1:])]
+				pend = append(pend, pendCQE{qp.recvCQ, cqe})
+				pend = append(pend, qp.toErrorLocked(WCFlushErr)...)
+				qp.mu.Unlock()
+				emit(pend)
+				return // no ack: the sender's WR must not complete successfully
+			}
 			w.fill += copy(w.buf[w.fill:], p.payload)
 			if p.last {
 				cqe := CQE{WRID: w.wrid, QPN: qp.qpn, Op: OpSend, Status: WCSuccess, Len: w.fill, Imm: p.imm}

@@ -51,6 +51,7 @@ const (
 	WCRemoteAccessErr
 	WCRetryExceeded
 	WCFlushErr
+	WCLocalLenErr // received message overran the posted receive buffer
 )
 
 // CQE is a completion queue entry (work completion).
@@ -309,4 +310,32 @@ func (n *NIC) QPCount() int {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	return len(n.qps)
+}
+
+// Port returns the fabric endpoint wired toward remoteHost, or nil. Fault
+// injection uses it to reach the link's runtime knobs.
+func (n *NIC) Port(remoteHost string) *fabric.Endpoint {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.ports[remoteHost]
+}
+
+// FailAllQPs forces every live QP on the adapter into error state,
+// modelling a catastrophic NIC event (firmware reset, cable pull at the
+// adapter). Returns the number of QPs transitioned.
+func (n *NIC) FailAllQPs() int {
+	n.mu.Lock()
+	qps := make([]*QP, 0, len(n.qps))
+	for _, qp := range n.qps {
+		qps = append(qps, qp)
+	}
+	n.mu.Unlock()
+	failed := 0
+	for _, qp := range qps {
+		if qp.State() != QPErr {
+			qp.ForceError()
+			failed++
+		}
+	}
+	return failed
 }

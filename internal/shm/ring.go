@@ -271,6 +271,17 @@ func (r *Ring) Mask() uint64 { return r.mask }
 // mirror uses it to compute the unsynchronized region.
 func (r *Ring) WriteCursor() uint64 { return r.written }
 
+// Tail returns the published tail: total bytes visible to the receiver.
+// Failure recovery exchanges it so a sender knows where to resume.
+func (r *Ring) Tail() uint64 { return r.tail.Load() }
+
+// Credit returns the receiver-acknowledged consumption cursor as seen on
+// this (sender-side) ring. Bytes below it were definitely consumed, so QP
+// recovery can rewind the mirror cursor here and re-flush: content above
+// the credit line is immutable until the receiver frees it, making the
+// re-delivery byte-identical and idempotent.
+func (r *Ring) Credit() uint64 { return r.credit.Load() }
+
 // AdvanceTail publishes n more bytes on a receiver-side ring copy whose
 // data arrived by remote write (called on write-imm completion).
 func (r *Ring) AdvanceTail(n int) { r.tail.Add(uint64(n)) }

@@ -68,6 +68,8 @@ const (
 	MonProbesOK      = "sd/monitor/probes_ok"
 	MonProbesFailed  = "sd/monitor/probes_failed"
 	MonWakes         = "sd/monitor/thread_wakes"
+	MonMchanHeals    = "sd/monitor/mchan_heals"
+	MonRescues       = "sd/monitor/rescues"
 
 	// host / simulated kernel — the Table 4 rows.
 	HostSyscalls   = "sd/host/syscalls"
@@ -82,4 +84,11 @@ const (
 	// ksocket compatibility layer.
 	KsockFDAllocs  = "sd/ksocket/fd_allocs"
 	KsockFDLockOps = "sd/ksocket/fd_lock_ops"
+
+	// fault injection + recovery.
+	FaultInjected         = "sd/fault/injected" // plus /<kind> suffixed per-kind counters
+	FaultRecoveries       = "sd/fault/recoveries"
+	FaultRecoveryAttempts = "sd/fault/recovery_attempts"
+	FaultBackoffNs        = "sd/fault/backoff_ns"
+	FaultDegradations     = "sd/fault/degradations"
 )
