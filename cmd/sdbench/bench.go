@@ -1,0 +1,106 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"socksdirect/internal/experiments"
+)
+
+// benchCmd runs the continuous-benchmark suite and writes a
+// schema-versioned BENCH_<timestamp>.json report.
+func benchCmd(args []string) {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	short := fs.Bool("short", false, "CI smoke mode: ~10x fewer messages per workload")
+	out := fs.String("o", "", "output path (default BENCH_<timestamp>.json)")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: sdbench bench [-short] [-o out.json]")
+		fs.PrintDefaults()
+	}
+	fs.Parse(args)
+	if fs.NArg() != 0 {
+		fs.Usage()
+		os.Exit(2)
+	}
+
+	rep := experiments.RunBenchSuite(*short)
+	path := *out
+	if path == "" {
+		path = fmt.Sprintf("BENCH_%s.json", time.Now().UTC().Format("20060102T150405Z"))
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("%-22s %10s %12s %10s %10s %11s %11s\n",
+		"workload", "msg(B)", "msgs/sec", "p50(us)", "p99(us)", "allocs/op", "bytes/op")
+	for _, e := range rep.Entries {
+		clock := "virtual"
+		if !e.Deterministic {
+			clock = "wall"
+		}
+		fmt.Printf("%-22s %10d %12.0f %10.2f %10.2f %11.2f %11.0f  (%s)\n",
+			e.Name, e.MsgBytes, e.MsgsPerSec,
+			float64(e.P50Ns)/1000, float64(e.P99Ns)/1000,
+			e.AllocsPerOp, e.BytesPerOp, clock)
+	}
+	fmt.Printf("wrote %s (schema %s, short=%v)\n", path, rep.Schema, rep.Short)
+}
+
+// compareCmd diffs two BENCH reports and exits 1 if the newer one
+// regresses past the threshold (CI gate).
+func compareCmd(args []string) {
+	fs := flag.NewFlagSet("compare", flag.ExitOnError)
+	threshold := fs.Float64("threshold", 0.30, "relative regression threshold (0.30 = 30%)")
+	all := fs.Bool("all", false, "also compare timing of wall-clock (machine-dependent) entries")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: sdbench compare [-threshold 0.30] [-all] baseline.json current.json")
+		fs.PrintDefaults()
+	}
+	fs.Parse(args)
+	if fs.NArg() != 2 {
+		fs.Usage()
+		os.Exit(2)
+	}
+	baseline := loadBench(fs.Arg(0))
+	current := loadBench(fs.Arg(1))
+
+	regs, err := experiments.CompareBench(baseline, current, *threshold, *all)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "compare: %v\n", err)
+		os.Exit(2)
+	}
+	if len(regs) == 0 {
+		fmt.Printf("compare: %d entries within %.0f%% of baseline\n",
+			len(baseline.Entries), *threshold*100)
+		return
+	}
+	for _, r := range regs {
+		fmt.Fprintf(os.Stderr, "REGRESSION %s\n", r)
+	}
+	os.Exit(1)
+}
+
+func loadBench(path string) experiments.BenchReport {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "compare: %v\n", err)
+		os.Exit(2)
+	}
+	var rep experiments.BenchReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		fmt.Fprintf(os.Stderr, "compare: %s: %v\n", path, err)
+		os.Exit(2)
+	}
+	return rep
+}

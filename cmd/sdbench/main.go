@@ -19,6 +19,12 @@
 //	sdbench stats [experiment...]
 //	                    run the experiments (default: table2) and dump the
 //	                    full telemetry registry afterwards
+//	sdbench bench [-short] [-o out.json]
+//	                    continuous-benchmark suite: writes a schema-versioned
+//	                    BENCH_<timestamp>.json (msgs/sec, p50/p99, allocs/op)
+//	sdbench compare [-threshold 0.30] [-all] baseline.json current.json
+//	                    diff two BENCH reports; exit 1 on regression past the
+//	                    threshold (the CI gate; see EXPERIMENTS.md)
 //
 // Flags (before the subcommand):
 //
@@ -73,6 +79,10 @@ func main() {
 		}
 	case "stats":
 		stats(args[1:], cmds)
+	case "bench":
+		benchCmd(args[1:])
+	case "compare":
+		compareCmd(args[1:])
 	default:
 		fn, ok := cmds[cmd]
 		if !ok {

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"io"
 
+	"socksdirect/internal/bufpool"
 	"socksdirect/internal/exec"
 	"socksdirect/internal/host"
 	"socksdirect/internal/mem"
@@ -181,13 +182,18 @@ func (s *Socket) SendVA(ctx exec.Context, t *host.Thread, addr mem.VAddr, n int)
 	default:
 		return s.sendVACopyLocked(ctx, addr, n)
 	}
-	// Remainder rides the ring as ordinary bytes.
+	// Remainder rides the ring as ordinary bytes. The scratch is pooled:
+	// sendMsg copies into the ring before returning, so the buffer is
+	// dead — and releasable — the moment it does.
 	if rem := n - whole; rem > 0 {
-		buf := make([]byte, rem)
-		if err := s.lib.P.AS.Read(addr+mem.VAddr(whole), buf); err != nil {
+		pb := bufpool.Get(rem)
+		if err := s.lib.P.AS.Read(addr+mem.VAddr(whole), pb.B); err != nil {
+			pb.Release()
 			return whole, err
 		}
-		if err := s.sendMsg(ctx, MData, buf, nil); err != nil {
+		err := s.sendMsg(ctx, MData, pb.B, nil)
+		pb.Release()
+		if err != nil {
 			return whole, err
 		}
 		host.CountCopy(rem)
@@ -273,20 +279,26 @@ func (s *Socket) zcSendInterChunk(ctx exec.Context, ep *rdmaEP, addr mem.VAddr, 
 }
 
 // sendVACopy is the sub-threshold path: read out of the address space and
-// send as ordinary bytes.
+// send as ordinary bytes. Scratch comes from the buffer pool; Send copies
+// into the ring, so the pool gets the buffer back before returning.
 func (s *Socket) sendVACopy(ctx exec.Context, t *host.Thread, addr mem.VAddr, n int) (int, error) {
-	buf := make([]byte, n)
-	if err := s.lib.P.AS.Read(addr, buf); err != nil {
+	pb := bufpool.Get(n)
+	if err := s.lib.P.AS.Read(addr, pb.B); err != nil {
+		pb.Release()
 		return 0, err
 	}
-	return s.Send(ctx, t, buf)
+	m, err := s.Send(ctx, t, pb.B)
+	pb.Release()
+	return m, err
 }
 
 func (s *Socket) sendVACopyLocked(ctx exec.Context, addr mem.VAddr, n int) (int, error) {
-	buf := make([]byte, n)
-	if err := s.lib.P.AS.Read(addr, buf); err != nil {
+	pb := bufpool.Get(n)
+	if err := s.lib.P.AS.Read(addr, pb.B); err != nil {
+		pb.Release()
 		return 0, err
 	}
+	buf := pb.B
 	total := 0
 	for len(buf) > 0 {
 		c := len(buf)
@@ -294,6 +306,7 @@ func (s *Socket) sendVACopyLocked(ctx exec.Context, addr mem.VAddr, n int) (int,
 			c = maxInline
 		}
 		if err := s.sendMsg(ctx, MData, buf[:c], nil); err != nil {
+			pb.Release()
 			return total, err
 		}
 		host.CountCopy(c)
@@ -301,6 +314,7 @@ func (s *Socket) sendVACopyLocked(ctx exec.Context, addr mem.VAddr, n int) (int,
 		buf = buf[c:]
 		total += c
 	}
+	pb.Release()
 	return total, nil
 }
 
@@ -320,12 +334,14 @@ func (s *Socket) RecvVA(ctx exec.Context, t *host.Thread, addr mem.VAddr, n int)
 		if len(s.rxZC) > 0 {
 			z := s.rxZC[0]
 			if uint64(addr)%mem.PageSize != 0 || n < z.total {
-				buf := make([]byte, n)
-				m, err := s.recvLockedBytes(ctx, t, buf)
+				pb := bufpool.Get(n)
+				m, err := s.recvLockedBytes(ctx, t, pb.B)
 				if err != nil {
+					pb.Release()
 					return 0, err
 				}
-				s.lib.P.AS.Write(ctx, addr, buf[:m])
+				s.lib.P.AS.Write(ctx, addr, pb.B[:m])
+				pb.Release()
 				return m, err
 			}
 			s.rxZC = s.rxZC[1:]
@@ -355,12 +371,15 @@ func (s *Socket) RecvVA(ctx exec.Context, t *host.Thread, addr mem.VAddr, n int)
 			}
 			// The sub-page tail was sent as MData right behind the MZC.
 			if rem := z.total - whole; rem > 0 {
-				buf := make([]byte, rem)
-				m, err := s.recvExactly(ctx, buf)
+				pb := bufpool.Get(rem)
+				m, err := s.recvExactly(ctx, pb.B)
 				if err != nil {
+					pb.Release()
 					return whole, err
 				}
-				if err := s.lib.P.AS.Write(ctx, addr+mem.VAddr(whole), buf[:m]); err != nil {
+				err = s.lib.P.AS.Write(ctx, addr+mem.VAddr(whole), pb.B[:m])
+				pb.Release()
+				if err != nil {
 					return whole, err
 				}
 			}
@@ -368,17 +387,21 @@ func (s *Socket) RecvVA(ctx exec.Context, t *host.Thread, addr mem.VAddr, n int)
 		}
 		// No ZC queued yet: take ordinary bytes, but bounce back here the
 		// moment a zero-copy descriptor surfaces.
-		buf := make([]byte, n)
-		m, err := s.recvBytes(ctx, t, buf, false)
+		pb := bufpool.Get(n)
+		m, err := s.recvBytes(ctx, t, pb.B, false)
 		if err != nil {
+			pb.Release()
 			return 0, err
 		}
 		if m > 0 {
-			if werr := s.lib.P.AS.Write(ctx, addr, buf[:m]); werr != nil {
+			werr := s.lib.P.AS.Write(ctx, addr, pb.B[:m])
+			pb.Release()
+			if werr != nil {
 				return 0, werr
 			}
 			return m, nil
 		}
+		pb.Release()
 	}
 }
 
@@ -413,10 +436,15 @@ func (s *Socket) flushSlotReturns(ctx exec.Context) {
 // degenerate case).
 func (s *Socket) materializeZC(ctx exec.Context, buf []byte) (int, error) {
 	z := s.rxZC[0]
-	out := make([]byte, 0, z.total)
+	// Pool scratch sized to the page roundup so the frame-append loop
+	// never outgrows the pooled capacity; any spill into rxPending is
+	// copied out before the release.
+	pb := bufpool.Get(len(z.ids) * mem.PageSize)
+	out := pb.B[:0]
 	for _, id := range z.ids {
 		fd, err := s.lib.H.Mem.FrameData(id)
 		if err != nil {
+			pb.Release()
 			return 0, err
 		}
 		out = append(out, fd...)
@@ -435,6 +463,7 @@ func (s *Socket) materializeZC(ctx exec.Context, buf []byte) (int, error) {
 	if n < len(out) {
 		s.rxPending = append(s.rxPending[:0], out[n:]...)
 	}
+	pb.Release()
 	return n, nil
 }
 

@@ -1,7 +1,6 @@
 package exec
 
 import (
-	"container/heap"
 	"fmt"
 )
 
@@ -66,21 +65,79 @@ type event struct {
 	fn  func()
 }
 
+// eventHeap is a hand-rolled binary min-heap ordered by (at, seq). It
+// deliberately does not use container/heap: that interface boxes every
+// pushed and popped event into an interface value, which costs two heap
+// allocations per scheduled event — and every Yield, Sleep, After and
+// wakeup schedules one. With the open-coded sift the steady-state data
+// path schedules events allocation-free (the backing array is reused
+// across pushes once grown).
 type eventHeap []event
 
 func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int)   { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)     { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any       { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
 func (h eventHeap) peekTime() int64 { return h[0].at }
-func (s *Sim) push(e event)         { e.seq = s.seq; s.seq++; heap.Push(&s.pq, e) }
-func (s *Sim) pop() event           { return heap.Pop(&s.pq).(event) }
+
+func (h eventHeap) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			return
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+func (h eventHeap) siftDown(i int) {
+	n := len(h)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		m := l
+		if r := l + 1; r < n && h.less(r, l) {
+			m = r
+		}
+		if !h.less(m, i) {
+			return
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+}
+
+// push assigns a fresh sequence number (FIFO tiebreak among same-time
+// events) and inserts. pushKeepSeq preserves the event's existing number
+// (a thread displaced by a busy core must stay ahead of later arrivals).
+func (s *Sim) push(e event) {
+	e.seq = s.seq
+	s.seq++
+	s.pushKeepSeq(e)
+}
+
+func (s *Sim) pushKeepSeq(e event) {
+	s.pq = append(s.pq, e)
+	s.pq.siftUp(len(s.pq) - 1)
+}
+
+func (s *Sim) pop() event {
+	e := s.pq[0]
+	n := len(s.pq) - 1
+	s.pq[0] = s.pq[n]
+	s.pq[n] = event{} // drop the fn reference so closures are collectable
+	s.pq = s.pq[:n]
+	if n > 0 {
+		s.pq.siftDown(0)
+	}
+	return e
+}
 
 // NewSim creates a fresh simulator.
 func NewSim(cfg SimConfig) *Sim {
@@ -219,7 +276,7 @@ func (s *Sim) Run() int64 {
 			// what makes same-core scheduling round-robin rather than
 			// letting the running thread starve its core-mates.
 			e.at = c.busyUntil
-			heap.Push(&s.pq, e)
+			s.pushKeepSeq(e)
 			continue
 		}
 		if e.at > t.vt {

@@ -1,0 +1,329 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"socksdirect/internal/exec"
+	"socksdirect/internal/rdma"
+	"socksdirect/internal/shm"
+	"socksdirect/internal/telemetry"
+)
+
+// BenchSchema versions the BENCH JSON layout. Bump it on any field
+// rename/removal; `sdbench compare` refuses to diff mismatched schemas.
+const BenchSchema = "socksdirect-bench/1"
+
+// BenchRTT is the telemetry distribution the bench workloads observe
+// per-message latency into; P50Ns/P99Ns come from its quantiles.
+const BenchRTT = "sd/bench/rtt_ns"
+
+// BenchEntry is one measured workload in a BENCH report.
+//
+// Deterministic marks entries whose rate and latency come from the
+// simulator's virtual clock: identical on every machine and run, safe to
+// diff tightly in CI. Wall-clock entries (the raw ring microbenchmark)
+// vary with the host; compare skips their timing fields unless asked.
+// AllocsPerOp counts Go heap allocations per message and is always
+// comparable.
+type BenchEntry struct {
+	Name          string  `json:"name"`
+	MsgBytes      int     `json:"msg_bytes"`
+	Msgs          int     `json:"msgs"`
+	MsgsPerSec    float64 `json:"msgs_per_sec"`
+	P50Ns         int64   `json:"p50_ns"`
+	P99Ns         int64   `json:"p99_ns"`
+	AllocsPerOp   float64 `json:"allocs_per_op"`
+	BytesPerOp    float64 `json:"bytes_per_op"`
+	Deterministic bool    `json:"deterministic"`
+}
+
+// BenchReport is the top-level BENCH_<timestamp>.json document.
+type BenchReport struct {
+	Schema    string       `json:"schema"`
+	Tool      string       `json:"tool"`
+	GoVersion string       `json:"go_version"`
+	Short     bool         `json:"short"`
+	Entries   []BenchEntry `json:"entries"`
+}
+
+// RunBenchSuite runs the continuous-benchmark workloads (the Table 2 /
+// Figure 7 microbenchmark shapes) and returns the report. short scales
+// every message count down ~10x for CI smoke runs; compare a -short
+// report only against another -short report.
+func RunBenchSuite(short bool) BenchReport {
+	scale := func(n int) int {
+		if short {
+			return n / 10
+		}
+		return n
+	}
+	rep := BenchReport{
+		Schema:    BenchSchema,
+		Tool:      "sdbench bench",
+		GoVersion: runtime.Version(),
+		Short:     short,
+	}
+	add := func(e BenchEntry) {
+		rep.Entries = append(rep.Entries, e)
+		telemetry.Default.Reset()
+	}
+	telemetry.Default.Reset()
+	add(benchRing(1024, scale(200_000)))
+	add(benchQP(1024, scale(2000)))
+	add(benchSDPingPong("sd_intra_pingpong_8B", 8, true, scale(1000)))
+	add(benchSDPingPong("sd_inter_pingpong_8B", 8, false, scale(1000)))
+	add(benchSDStream("sd_intra_stream_1KiB", 1024, true, scale(4000)))
+	add(benchSDStream("sd_inter_stream_1KiB", 1024, false, scale(4000)))
+	return rep
+}
+
+// benchRing measures the raw SPSC shared-memory ring (§4.1): a 1 KiB
+// TrySendV immediately drained by TryRecv on the same goroutine. Timing
+// is wall-clock (the ring is real code, not simulated); the allocation
+// counts are measured around the tight loop and must be zero.
+func benchRing(size, n int) BenchEntry {
+	r := shm.NewRing(1 << 16)
+	payload := make([]byte, size)
+	op := func() bool {
+		if !r.TrySendV(1, 0, payload, nil) {
+			return false
+		}
+		_, ok := r.TryRecv()
+		return ok
+	}
+	op() // warm header/credit paths
+
+	var m0, m1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&m0)
+	for i := 0; i < n; i++ {
+		op()
+	}
+	runtime.ReadMemStats(&m1)
+
+	dist := telemetry.D(BenchRTT)
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		t0 := time.Now()
+		op()
+		dist.Observe(time.Since(t0).Nanoseconds())
+	}
+	elapsed := time.Since(start).Seconds()
+
+	return BenchEntry{
+		Name:        "ring_spsc_1KiB",
+		MsgBytes:    size,
+		Msgs:        n,
+		MsgsPerSec:  float64(n) / elapsed,
+		P50Ns:       dist.Quantile(0.50),
+		P99Ns:       dist.Quantile(0.99),
+		AllocsPerOp: float64(m1.Mallocs-m0.Mallocs) / float64(n),
+		BytesPerOp:  float64(m1.TotalAlloc-m0.TotalAlloc) / float64(n),
+	}
+}
+
+// benchQP measures the simulated RDMA QP (§4.2 inter-host bottom): a
+// signaled 1 KiB WRITE posted and waited to completion, one at a time,
+// on virtual time. Allocations are measured around the whole run
+// (world + QP setup included) and amortize over n; the tight ≤1/op
+// data-path bound is enforced by internal/rdma's alloc tests.
+func benchQP(size, n int) BenchEntry {
+	var m0, m1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&m0)
+
+	w := newWorld()
+	pda, pdb := w.a.NIC.AllocPD(), w.b.NIC.AllocPD()
+	bufB := make([]byte, 1<<20)
+	mrb := pdb.RegisterBytes(bufB)
+	cqaS, cqaR := rdma.NewCQ(), rdma.NewCQ()
+	cqbS, cqbR := rdma.NewCQ(), rdma.NewCQ()
+	qa := pda.CreateQP(cqaS, cqaR)
+	qb := pdb.CreateQP(cqbS, cqbR)
+	qa.Connect("hostB", qb.QPN())
+	qb.Connect("hostA", qa.QPN())
+	_, _ = cqaR, cqbS
+
+	payload := make([]byte, size)
+	dist := telemetry.D(BenchRTT)
+	var elapsed int64
+	w.sim.Spawn("bench-qp", func(ctx exec.Context) {
+		start := ctx.Now()
+		for i := 0; i < n; i++ {
+			t0 := ctx.Now()
+			if err := qa.PostWrite(uint64(i), payload, mrb.RKey(), 0, 1, true); err != nil {
+				return
+			}
+			for {
+				if _, ok := cqaS.PollOne(); ok {
+					break
+				}
+				ctx.Charge(w.costs.RDMAPost)
+				ctx.Yield()
+			}
+			for {
+				if _, ok := cqbR.PollOne(); ok {
+					break
+				}
+			}
+			dist.Observe(ctx.Now() - t0)
+		}
+		elapsed = ctx.Now() - start
+	})
+	w.sim.Run()
+	runtime.ReadMemStats(&m1)
+
+	e := BenchEntry{
+		Name:          "rdma_qp_1KiB",
+		MsgBytes:      size,
+		Msgs:          n,
+		P50Ns:         dist.Quantile(0.50),
+		P99Ns:         dist.Quantile(0.99),
+		AllocsPerOp:   float64(m1.Mallocs-m0.Mallocs) / float64(n),
+		BytesPerOp:    float64(m1.TotalAlloc-m0.TotalAlloc) / float64(n),
+		Deterministic: true,
+	}
+	if elapsed > 0 {
+		e.MsgsPerSec = float64(n) / (float64(elapsed) / 1e9)
+	}
+	return e
+}
+
+// benchSDPingPong is PingPong over the full SocksDirect stack with
+// per-round RTT observed into the bench distribution, so the report
+// carries p50/p99 rather than just the mean. Virtual time throughout.
+func benchSDPingPong(name string, size int, intra bool, rounds int) BenchEntry {
+	var m0, m1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&m0)
+
+	w := newWorld()
+	dist := telemetry.D(BenchRTT)
+	var elapsed int64
+	serverSide := func(api endpointAPI) {
+		buf := make([]byte, size)
+		for i := 0; i <= rounds; i++ {
+			if _, err := recvFull(api, buf); err != nil {
+				return
+			}
+			if _, err := api.send(buf); err != nil {
+				return
+			}
+		}
+	}
+	clientSide := func(t *timeSrc, api endpointAPI) {
+		buf := make([]byte, size)
+		round := func() {
+			api.send(buf)
+			recvFull(api, buf)
+		}
+		round() // warm: connection setup, first credit exchange
+		start := t.now()
+		for i := 0; i < rounds; i++ {
+			t0 := t.now()
+			round()
+			dist.Observe(t.now() - t0)
+		}
+		elapsed = t.now() - start
+	}
+	wire(w, SysSD, intra, false, size, serverSide, clientSide)
+	w.sim.Run()
+	runtime.ReadMemStats(&m1)
+
+	e := BenchEntry{
+		Name:          name,
+		MsgBytes:      size,
+		Msgs:          rounds,
+		P50Ns:         dist.Quantile(0.50),
+		P99Ns:         dist.Quantile(0.99),
+		AllocsPerOp:   float64(m1.Mallocs-m0.Mallocs) / float64(rounds),
+		BytesPerOp:    float64(m1.TotalAlloc-m0.TotalAlloc) / float64(rounds),
+		Deterministic: true,
+	}
+	if elapsed > 0 {
+		// One round is one message each way; report one-direction rate.
+		e.MsgsPerSec = float64(rounds) / (float64(elapsed) / 1e9)
+	}
+	return e
+}
+
+// benchSDStream wraps Stream (one-directional pump) and adds the
+// harness-inclusive allocation counts. Latency quantiles are not
+// meaningful for a windowed stream and stay zero.
+func benchSDStream(name string, size int, intra bool, count int) BenchEntry {
+	var m0, m1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&m0)
+	r := Stream(SysSD, size, intra, count)
+	runtime.ReadMemStats(&m1)
+	return BenchEntry{
+		Name:          name,
+		MsgBytes:      size,
+		Msgs:          count,
+		MsgsPerSec:    r.OpsPerSec,
+		AllocsPerOp:   float64(m1.Mallocs-m0.Mallocs) / float64(count),
+		BytesPerOp:    float64(m1.TotalAlloc-m0.TotalAlloc) / float64(count),
+		Deterministic: true,
+	}
+}
+
+// BenchRegression is one threshold violation found by CompareBench.
+type BenchRegression struct {
+	Entry  string
+	Metric string
+	Old    float64
+	New    float64
+}
+
+func (r BenchRegression) String() string {
+	if r.Metric == "missing" {
+		return fmt.Sprintf("%s: entry missing from current report", r.Entry)
+	}
+	return fmt.Sprintf("%s: %s regressed %.4g -> %.4g", r.Entry, r.Metric, r.Old, r.New)
+}
+
+// CompareBench diffs two reports entry-by-entry. A regression is a
+// throughput drop, or a latency/allocation rise, beyond the relative
+// threshold (e.g. 0.25 = 25%). Timing metrics of wall-clock entries are
+// machine-dependent and only checked when includeWallClock is set;
+// AllocsPerOp is always checked (with +1 absolute slack so near-zero
+// baselines don't trip on noise). Entries present on only one side are
+// reported as "missing" regressions so a silently dropped workload
+// fails the gate. Returns an error on schema or mode (short) mismatch.
+func CompareBench(old, cur BenchReport, threshold float64, includeWallClock bool) ([]BenchRegression, error) {
+	if old.Schema != BenchSchema || cur.Schema != BenchSchema {
+		return nil, fmt.Errorf("schema mismatch: baseline %q vs current %q (want %q)",
+			old.Schema, cur.Schema, BenchSchema)
+	}
+	if old.Short != cur.Short {
+		return nil, fmt.Errorf("mode mismatch: baseline short=%v vs current short=%v", old.Short, cur.Short)
+	}
+	curByName := make(map[string]BenchEntry, len(cur.Entries))
+	for _, e := range cur.Entries {
+		curByName[e.Name] = e
+	}
+	var regs []BenchRegression
+	for _, o := range old.Entries {
+		n, ok := curByName[o.Name]
+		if !ok {
+			regs = append(regs, BenchRegression{Entry: o.Name, Metric: "missing"})
+			continue
+		}
+		delete(curByName, o.Name)
+		if n.AllocsPerOp > o.AllocsPerOp*(1+threshold)+1 {
+			regs = append(regs, BenchRegression{o.Name, "allocs_per_op", o.AllocsPerOp, n.AllocsPerOp})
+		}
+		if !includeWallClock && !(o.Deterministic && n.Deterministic) {
+			continue
+		}
+		if o.MsgsPerSec > 0 && n.MsgsPerSec < o.MsgsPerSec*(1-threshold) {
+			regs = append(regs, BenchRegression{o.Name, "msgs_per_sec", o.MsgsPerSec, n.MsgsPerSec})
+		}
+		if o.P99Ns > 0 && float64(n.P99Ns) > float64(o.P99Ns)*(1+threshold) {
+			regs = append(regs, BenchRegression{o.Name, "p99_ns", float64(o.P99Ns), float64(n.P99Ns)})
+		}
+	}
+	return regs, nil
+}

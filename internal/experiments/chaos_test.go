@@ -1,6 +1,10 @@
 package experiments
 
-import "testing"
+import (
+	"testing"
+
+	"socksdirect/internal/bufpool"
+)
 
 // TestChaosSoak runs the scripted fault schedule (1% loss burst + 2 s
 // partition on the RDMA link) against two echo pairs and demands
@@ -33,5 +37,27 @@ func TestChaosSoak(t *testing.T) {
 	}
 	if r.Injected < 2 {
 		t.Errorf("fault schedule did not apply: injected=%d", r.Injected)
+	}
+}
+
+// TestChaosPoolBalance is the system-level leak check for the pooled
+// data path (ISSUE 3): after a full chaos run — loss burst, partition,
+// go-back-N retransmission storms, QP error flushes, re-establishment,
+// and mid-stream degradation to kernel TCP (the PR 2 path through
+// core/tcpep.go, which closes the dead QPs) — every ref-counted staging
+// buffer must have found its way back to the pool. The sim quiesces only
+// when no frames or timers remain, so a nonzero delta here is a real
+// reference-count leak, not in-flight traffic.
+func TestChaosPoolBalance(t *testing.T) {
+	before := bufpool.Outstanding()
+	r := Chaos(120, 512)
+	if !r.CompletedA || !r.CompletedB {
+		t.Fatalf("incomplete chaos run: pairA=%v pairB=%v", r.CompletedA, r.CompletedB)
+	}
+	if r.Degradations < 1 {
+		t.Errorf("degradation path not exercised (rescues=%d)", r.Rescues)
+	}
+	if got := bufpool.Outstanding(); got != before {
+		t.Errorf("buffer pool leak: outstanding %d after chaos run, want %d", got, before)
 	}
 }

@@ -28,6 +28,20 @@ var (
 	mDrops    = telemetry.C(telemetry.FabricDrops)
 )
 
+// Releasable is implemented by pooled frames (e.g. the RDMA layer's
+// packets). Send takes ownership of one reference per call: the fabric
+// releases it when the frame is dropped (loss, partition) or after the
+// delivery handler returns. Handlers must therefore copy out any payload
+// bytes they need before returning. Frames that do not implement the
+// interface are garbage-collected as usual.
+type Releasable interface{ ReleaseFrame() }
+
+func releaseFrame(frame any) {
+	if r, ok := frame.(Releasable); ok {
+		r.ReleaseFrame()
+	}
+}
+
 // Config describes one direction of a link.
 type Config struct {
 	// PropDelay is the one-way fixed latency in ns: NIC pipeline + wire
@@ -171,6 +185,7 @@ func (e *Endpoint) Send(frame any, payloadBytes int) {
 		e.stats.drops.Add(1)
 		mDrops.Inc()
 		e.mu.Unlock()
+		releaseFrame(frame) // the wire ate this copy; return its staging
 		return
 	}
 	ser := int64(0)
@@ -189,16 +204,51 @@ func (e *Endpoint) Send(frame any, payloadBytes int) {
 	peer := e.peer
 	e.mu.Unlock()
 
-	e.clk.After(deliverAt-now, func() {
-		peer.stats.rxFrames.Add(1)
-		peer.stats.rxBytes.Add(uint64(payloadBytes))
-		mRxFrames.Inc()
-		mRxBytes.Add(int64(payloadBytes))
-		peer.mu.Lock()
-		h := peer.handler
-		peer.mu.Unlock()
-		if h != nil {
-			h(frame, wire)
-		}
-	})
+	// Delivery events are pooled with a pre-bound trampoline: scheduling a
+	// frame allocates neither a closure nor a timer box, which is what
+	// keeps the per-packet fabric cost at zero steady-state allocations.
+	d := deliveryPool.Get().(*delivery)
+	d.peer = peer
+	d.frame = frame
+	d.payloadBytes = payloadBytes
+	d.wire = wire
+	e.clk.After(deliverAt-now, d.fn)
+}
+
+// delivery is one scheduled frame arrival. fn is bound to run once, when
+// the object first leaves the pool, and reused for every subsequent
+// transit through it.
+type delivery struct {
+	peer         *Endpoint
+	frame        any
+	payloadBytes int
+	wire         int
+	fn           func()
+}
+
+var deliveryPool sync.Pool
+
+func init() {
+	deliveryPool.New = func() any {
+		d := &delivery{}
+		d.fn = d.run
+		return d
+	}
+}
+
+func (d *delivery) run() {
+	peer, frame, payloadBytes, wire := d.peer, d.frame, d.payloadBytes, d.wire
+	d.peer, d.frame = nil, nil
+	deliveryPool.Put(d) // fields are copied out; safe to recycle before handling
+	peer.stats.rxFrames.Add(1)
+	peer.stats.rxBytes.Add(uint64(payloadBytes))
+	mRxFrames.Inc()
+	mRxBytes.Add(int64(payloadBytes))
+	peer.mu.Lock()
+	h := peer.handler
+	peer.mu.Unlock()
+	if h != nil {
+		h(frame, wire)
+	}
+	releaseFrame(frame) // the fabric's reference for this transmitted copy
 }

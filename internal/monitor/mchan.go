@@ -23,6 +23,7 @@ type mchan struct {
 	nextWRID uint64
 	bufs     map[uint64][]byte
 	inflight int
+	sbuf     [ctlmsg.Size]byte // send staging: PostSend copies at post time
 }
 
 const mchanBufs = 128
@@ -54,9 +55,17 @@ func (mc *mchan) connect(peerHost string, peerQPN uint32) error {
 	return nil
 }
 
-func (mc *mchan) postRecvLocked() {
+func (mc *mchan) postRecvLocked() { mc.repostLocked(nil) }
+
+// repostLocked turns a drained landing buffer back into a receive WQE
+// (nil allocates a fresh one — only at channel bring-up). The buffer set
+// is therefore fixed at mchanBufs for the channel's lifetime instead of
+// allocating one per received control message.
+func (mc *mchan) repostLocked(buf []byte) {
+	if buf == nil {
+		buf = make([]byte, ctlmsg.Size)
+	}
 	mc.nextWRID++
-	buf := make([]byte, ctlmsg.Size)
 	mc.bufs[mc.nextWRID] = buf
 	mc.qp.PostRecv(mc.nextWRID, buf)
 }
@@ -66,7 +75,9 @@ func (mc *mchan) send(cm *ctlmsg.Msg) {
 	mc.mu.Lock()
 	defer mc.mu.Unlock()
 	mc.nextWRID++
-	mc.qp.PostSend(mc.nextWRID, cm.Marshal(nil))
+	// The QP copies into pooled staging inside PostSend, so the one
+	// persistent staging buffer is free for reuse as soon as it returns.
+	mc.qp.PostSend(mc.nextWRID, cm.Marshal(mc.sbuf[:]))
 	mc.inflight++
 	for mc.inflight > mchanBufs/2 {
 		if _, ok := mc.sendCQ.PollOne(); ok {
@@ -81,7 +92,9 @@ func (mc *mchan) send(cm *ctlmsg.Msg) {
 // parked monitor resumes when peer traffic arrives.
 func (mc *mchan) armWake(fn func()) { mc.recvCQ.Arm(fn) }
 
-// recv polls one incoming control message, re-posting the buffer.
+// recv polls one incoming control message, recycling the landing buffer
+// into a fresh receive WQE (Unmarshal copies every field, so the bytes
+// are dead the moment it returns).
 func (mc *mchan) recv() (*ctlmsg.Msg, bool) {
 	e, ok := mc.recvCQ.PollOne()
 	if !ok {
@@ -90,12 +103,13 @@ func (mc *mchan) recv() (*ctlmsg.Msg, bool) {
 	mc.mu.Lock()
 	buf := mc.bufs[e.WRID]
 	delete(mc.bufs, e.WRID)
-	mc.postRecvLocked()
-	mc.mu.Unlock()
-	if e.Status != rdma.WCSuccess || buf == nil {
-		return nil, false
+	var cm ctlmsg.Msg
+	ok = e.Status == rdma.WCSuccess && buf != nil
+	if ok {
+		cm, ok = ctlmsg.Unmarshal(buf[:e.Len])
 	}
-	cm, ok := ctlmsg.Unmarshal(buf[:e.Len])
+	mc.repostLocked(buf)
+	mc.mu.Unlock()
 	if !ok {
 		return nil, false
 	}

@@ -3,7 +3,9 @@ package rdma
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
+	"socksdirect/internal/bufpool"
 	"socksdirect/internal/telemetry"
 )
 
@@ -39,7 +41,26 @@ const DefaultWindow = 64
 // MaxRetry transitions the QP to error state after this many timeouts.
 const MaxRetry = 16
 
-// packet is what crosses the fabric between two NICs.
+// packet is what crosses the fabric between two NICs. Packets and their
+// payload staging are pooled (Table 2: a malloc per message costs more
+// than the whole per-message budget), which makes ownership explicit:
+//
+//   - post() creates the packet holding ONE reference — the send queue's
+//     (inflight/pending). That reference is released by the cumulative
+//     ack that covers the packet (onAck) or by the error flush
+//     (toErrorLocked).
+//   - every fabric transmit — first send and each go-back-N retransmit —
+//     takes an ADDITIONAL reference that is transferred to the fabric.
+//     The fabric releases it when the frame is dropped (loss/partition)
+//     or after the delivery handler returns (fabric.Releasable).
+//   - the receive path (onData/onAck) copies payload bytes out
+//     synchronously and must not retain the packet or its payload past
+//     return: the frame reference dies in the fabric immediately after.
+//
+// A packet can therefore be live on the wire in several copies after the
+// sender has already dropped it (late duplicates after an ack, flushed
+// QPs); the count keeps the staging buffer out of the pool until the
+// last copy lands.
 type packet struct {
 	fromQPN uint32
 	toQPN   uint32
@@ -51,7 +72,49 @@ type packet struct {
 	imm     uint32
 	payload []byte
 	ackSeq  uint64
+
+	refs atomic.Int32
+	pbuf *bufpool.Buf // backing store of payload, nil for empty payloads
 }
+
+var packetPool = sync.Pool{New: func() any { return new(packet) }}
+
+// newPacket returns a zero-valued packet holding one reference.
+func newPacket() *packet {
+	p := packetPool.Get().(*packet)
+	*p = packet{}
+	p.refs.Store(1)
+	return p
+}
+
+// ref adds an owner (one per fabric transmit, on top of the queue's).
+func (p *packet) ref() {
+	if p.refs.Add(1) <= 1 {
+		panic("rdma: ref on a released packet")
+	}
+}
+
+// release drops one owner; the last drop returns payload staging to the
+// buffer pool and the packet to the packet pool.
+func (p *packet) release() {
+	n := p.refs.Add(-1)
+	if n < 0 {
+		panic("rdma: packet released more times than referenced")
+	}
+	if n != 0 {
+		return
+	}
+	if p.pbuf != nil {
+		p.pbuf.Release()
+		p.pbuf = nil
+	}
+	p.payload = nil
+	packetPool.Put(p)
+}
+
+// ReleaseFrame implements fabric.Releasable: the fabric calls it once per
+// transmitted copy, on drop or after delivery.
+func (p *packet) ReleaseFrame() { p.release() }
 
 type wrComp struct {
 	lastSeq uint64
@@ -81,16 +144,18 @@ type QP struct {
 	port       portSender
 
 	// transmit side
-	sndSeq   uint64    // next sequence number to assign
-	sndUna   uint64    // oldest unacknowledged
-	inflight []*packet // transmitted, unacked (seq order)
-	pending  []*packet // waiting for window space
-	comps    []wrComp  // WRs awaiting cumulative ack
-	window   int
-	rtoGen   uint64 // invalidates timers of a reset/closed QP
-	rtoArmed bool
-	unaAtArm uint64 // progress detection: sndUna when the timer was armed
-	retries  int
+	sndSeq    uint64    // next sequence number to assign
+	sndUna    uint64    // oldest unacknowledged
+	inflight  []*packet // transmitted, unacked (seq order)
+	pending   []*packet // waiting for window space
+	comps     []wrComp  // WRs awaiting cumulative ack
+	window    int
+	rtoGen    uint64 // invalidates timers of a reset/closed QP
+	rtoGenArm uint64 // rtoGen when the (single) outstanding timer was armed
+	rtoArmed  bool
+	rtoCb     func() // pre-bound onTimeout trampoline: arming allocates nothing
+	unaAtArm  uint64 // progress detection: sndUna when the timer was armed
+	retries   int
 
 	// receive side
 	rcvNext      uint64
@@ -119,6 +184,7 @@ func (pd *PD) CreateQP(sendCQ, recvCQ *CQ) *QP {
 		window: DefaultWindow,
 	}
 	n.qps[qp.qpn] = qp
+	qp.rtoCb = qp.onTimeout
 	mQPsCreated.Inc()
 	return qp
 }
@@ -206,7 +272,17 @@ func (qp *QP) toErrorLocked(compStatus uint8) []pendCQE {
 		pend = append(pend, pendCQE{qp.sendCQ, CQE{WRID: c.wrid, QPN: qp.qpn, Op: c.op, Status: compStatus}})
 	}
 	qp.comps = nil
+	// Drop the send queue's packet references. Copies still traveling the
+	// fabric hold their own references, so late deliveries into the (now
+	// errored) peer read valid bytes; the staging returns to the pool when
+	// the last copy lands or is dropped.
+	for _, p := range qp.inflight {
+		p.release()
+	}
 	qp.inflight = nil
+	for _, p := range qp.pending {
+		p.release()
+	}
 	qp.pending = nil
 	for _, w := range qp.recvQ {
 		pend = append(pend, pendCQE{qp.recvCQ, CQE{WRID: w.wrid, QPN: qp.qpn, Op: OpSend, Status: WCFlushErr}})
@@ -264,7 +340,9 @@ func (qp *QP) post(wrid uint64, op uint8, data []byte, rkey uint64, raddr int64,
 	// Segment to MTU. The payload is copied at post time: this models the
 	// NIC DMA-reading the (pinned) source buffer, and keeps the semantics
 	// that the app may not touch the buffer until completion while letting
-	// the simulation tolerate it.
+	// the simulation tolerate it. Staging comes from the buffer pool — a
+	// segment is at most one MTU, so it always fits a pooled class and the
+	// steady state recycles instead of allocating (Table 2's malloc cost).
 	remaining := data
 	off := int64(0)
 	for {
@@ -272,23 +350,21 @@ func (qp *QP) post(wrid uint64, op uint8, data []byte, rkey uint64, raddr int64,
 		if n > MTU {
 			n = MTU
 		}
-		var pl []byte
+		p := newPacket() // holds the send queue's reference
 		if n > 0 {
-			pl = make([]byte, n)
-			copy(pl, remaining[:n])
+			p.pbuf = bufpool.Get(n)
+			p.payload = p.pbuf.B
+			copy(p.payload, remaining[:n])
 		}
 		last := n == len(remaining)
-		p := &packet{
-			fromQPN: qp.qpn,
-			toQPN:   qp.remoteQPN,
-			op:      op,
-			seq:     qp.sndSeq,
-			last:    last,
-			rkey:    rkey,
-			raddr:   raddr + off,
-			imm:     imm,
-			payload: pl,
-		}
+		p.fromQPN = qp.qpn
+		p.toQPN = qp.remoteQPN
+		p.op = op
+		p.seq = qp.sndSeq
+		p.last = last
+		p.rkey = rkey
+		p.raddr = raddr + off
+		p.imm = imm
 		qp.sndSeq++
 		if last {
 			qp.comps = append(qp.comps, wrComp{lastSeq: p.seq, wrid: wrid, op: op, length: len(data)})
@@ -313,6 +389,7 @@ func (qp *QP) enqueueLocked(p *packet) {
 
 func (qp *QP) transmitLocked(p *packet) {
 	qp.inflight = append(qp.inflight, p)
+	p.ref() // transferred to the fabric: released on drop or post-delivery
 	qp.port.Send(p, len(p.payload))
 	mPacketsTx.Inc()
 	qp.armRTOLocked()
@@ -324,13 +401,16 @@ func (qp *QP) armRTOLocked() {
 	}
 	qp.rtoArmed = true
 	qp.unaAtArm = qp.sndUna
-	gen := qp.rtoGen
-	qp.nic.clk.After(DefaultRTO, func() { qp.onTimeout(gen) })
+	// At most one timer is outstanding (the rtoArmed gate), so recording
+	// the generation in a field instead of a closure capture is
+	// equivalent — and lets arming reuse the pre-bound callback.
+	qp.rtoGenArm = qp.rtoGen
+	qp.nic.clk.After(DefaultRTO, qp.rtoCb)
 }
 
-func (qp *QP) onTimeout(gen uint64) {
+func (qp *QP) onTimeout() {
 	qp.mu.Lock()
-	if gen != qp.rtoGen {
+	if qp.rtoGenArm != qp.rtoGen {
 		qp.mu.Unlock()
 		return
 	}
@@ -361,6 +441,7 @@ func (qp *QP) onTimeout(gen uint64) {
 			telemetry.A("qpn", int64(qp.qpn)), telemetry.A("inflight", int64(len(qp.inflight))))
 	}
 	for _, p := range qp.inflight {
+		p.ref() // each retransmitted copy carries its own fabric reference
 		qp.port.Send(p, len(p.payload))
 		mRetransmits.Inc()
 		mPacketsTx.Inc()
@@ -369,25 +450,31 @@ func (qp *QP) onTimeout(gen uint64) {
 	qp.mu.Unlock()
 }
 
-// onAck processes a cumulative acknowledgment.
+// onAck processes a cumulative acknowledgment. The pending-CQE scratch
+// is a stack array (emit does not retain it) so a steady-state ack
+// completes WRs without allocating.
 func (qp *QP) onAck(ack uint64) {
-	var pend []pendCQE
+	var pendArr [4]pendCQE
+	pend := pendArr[:0]
 	qp.mu.Lock()
-	defer func() {
-		qp.mu.Unlock()
-		emit(pend)
-	}()
 	if ack <= qp.sndUna {
+		qp.mu.Unlock()
 		return
 	}
 	qp.sndUna = ack
 	qp.retries = 0
-	// Drop acked packets from the window.
+	// Drop acked packets from the window, releasing the queue's reference
+	// on each (an ack means the receiver is past the sequence number, so
+	// even a late duplicate still in the fabric is discarded unread; its
+	// own frame reference keeps the bytes valid until then).
 	i := 0
 	for i < len(qp.inflight) && qp.inflight[i].seq < ack {
+		qp.inflight[i].release()
 		i++
 	}
-	qp.inflight = qp.inflight[:copy(qp.inflight, qp.inflight[i:])]
+	n := copy(qp.inflight, qp.inflight[i:])
+	clear(qp.inflight[n:]) // drop stale pointers so pooled packets aren't pinned
+	qp.inflight = qp.inflight[:n]
 	// Complete covered WRs, in order (pushed after unlock).
 	j := 0
 	for j < len(qp.comps) && qp.comps[j].lastSeq < ack {
@@ -399,9 +486,13 @@ func (qp *QP) onAck(ack uint64) {
 	// Open the window for pending work.
 	for len(qp.pending) > 0 && len(qp.inflight) < qp.window {
 		p := qp.pending[0]
-		qp.pending = qp.pending[:copy(qp.pending, qp.pending[1:])]
+		k := copy(qp.pending, qp.pending[1:])
+		qp.pending[k] = nil
+		qp.pending = qp.pending[:k]
 		qp.transmitLocked(p)
 	}
+	qp.mu.Unlock()
+	emit(pend)
 }
 
 // onFrame is the NIC receive pipeline; it runs in timer context.
@@ -423,8 +514,20 @@ func (n *NIC) onFrame(frame any, _ int) {
 	qp.onData(p)
 }
 
+// sendAck ships a standalone cumulative ack. The pooled packet's single
+// reference is transferred to the fabric with Send.
+func sendAck(port portSender, fromQPN, toQPN uint32, ack uint64) {
+	ap := newPacket()
+	ap.fromQPN = fromQPN
+	ap.toQPN = toQPN
+	ap.op = opAck
+	ap.ackSeq = ack
+	port.Send(ap, 0)
+}
+
 func (qp *QP) onData(p *packet) {
-	var pend []pendCQE
+	var pendArr [2]pendCQE
+	pend := pendArr[:0]
 	qp.mu.Lock()
 	if qp.state != QPRTS {
 		// A queue pair that is not ready does not receive (hardware
@@ -442,7 +545,7 @@ func (qp *QP) onData(p *packet) {
 		port := qp.portForReply(p)
 		qp.mu.Unlock()
 		if port != nil {
-			port.Send(&packet{fromQPN: qp.qpn, toQPN: p.fromQPN, op: opAck, ackSeq: ack}, 0)
+			sendAck(port, qp.qpn, p.fromQPN, ack)
 		}
 		return
 	}
@@ -507,7 +610,7 @@ func (qp *QP) onData(p *packet) {
 	qp.mu.Unlock()
 	emit(pend)
 	if port != nil {
-		port.Send(&packet{fromQPN: qp.qpn, toQPN: p.fromQPN, op: opAck, ackSeq: ack}, 0)
+		sendAck(port, qp.qpn, p.fromQPN, ack)
 	}
 }
 

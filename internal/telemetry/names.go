@@ -85,6 +85,13 @@ const (
 	KsockFDAllocs  = "sd/ksocket/fd_allocs"
 	KsockFDLockOps = "sd/ksocket/fd_lock_ops"
 
+	// buffer pool (internal/bufpool) — the allocation-free data path.
+	MemPoolGets        = "sd/mem/pool/gets"
+	MemPoolPuts        = "sd/mem/pool/puts"
+	MemPoolMisses      = "sd/mem/pool/misses"      // class pool empty: fresh allocation
+	MemPoolOversize    = "sd/mem/pool/oversize"    // above largest class: GC-owned
+	MemPoolOutstanding = "sd/mem/pool/outstanding" // gauge: buffers held (leak check)
+
 	// fault injection + recovery.
 	FaultInjected         = "sd/fault/injected" // plus /<kind> suffixed per-kind counters
 	FaultRecoveries       = "sd/fault/recoveries"

@@ -1,0 +1,58 @@
+package socksdirect_test
+
+import (
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestEveryInternalPackageIsDocumented walks internal/ and fails if any
+// package lacks a package doc comment. The doc comments double as the
+// paper map (each cites the §4.x it implements — see ARCHITECTURE.md),
+// so an undocumented package is a docs regression, and CI treats it as
+// one.
+func TestEveryInternalPackageIsDocumented(t *testing.T) {
+	pkgFiles := map[string][]string{} // package dir -> non-test .go files
+	err := filepath.WalkDir("internal", func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() || !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		dir := filepath.Dir(path)
+		pkgFiles[dir] = append(pkgFiles[dir], path)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgFiles) == 0 {
+		t.Fatal("no packages found under internal/")
+	}
+	fset := token.NewFileSet()
+	for dir, files := range pkgFiles {
+		documented := false
+		for _, path := range files {
+			src, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			f, err := parser.ParseFile(fset, path, src, parser.ParseComments|parser.PackageClauseOnly)
+			if err != nil {
+				t.Fatalf("%s: %v", path, err)
+			}
+			if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+				documented = true
+				break
+			}
+		}
+		if !documented {
+			t.Errorf("package %s has no package doc comment (add one citing the paper section it implements)", dir)
+		}
+	}
+}
