@@ -15,6 +15,10 @@
 //	sdbench chaos       fault injection: loss burst + 2s partition, QP
 //	                    recovery and mid-stream TCP degradation, with
 //	                    byte-exact delivery checks
+//	sdbench crash       process-crash drill: scheduled SIGKILLs mid-transfer;
+//	                    survivors must see byte-exact prefixes then exactly
+//	                    one ECONNRESET, monitors must converge, no buffer
+//	                    leaks
 //	sdbench all         everything above
 //	sdbench stats [experiment...]
 //	                    run the experiments (default: table2) and dump the
@@ -68,9 +72,10 @@ func main() {
 		"connscale": connscale,
 		"ablate":    ablate,
 		"chaos":     chaos,
+		"crash":     crash,
 	}
 	order := []string{"table2", "table4", "fig7", "fig8",
-		"fig9", "fig10", "fig11", "fig12", "redis", "connscale", "ablate", "chaos"}
+		"fig9", "fig10", "fig11", "fig12", "redis", "connscale", "ablate", "chaos", "crash"}
 	switch cmd {
 	case "all":
 		for _, name := range order {
@@ -259,6 +264,17 @@ func chaos() {
 	fmt.Println(r)
 	fmt.Println()
 	printDeltas("chaos counter deltas (whole workload)", telemetry.Capture().Diff(before))
+	if !r.Passed() {
+		os.Exit(1)
+	}
+}
+
+func crash() {
+	before := telemetry.Capture()
+	r := experiments.Crash(4, 4, 1024)
+	fmt.Println(r)
+	fmt.Println()
+	printDeltas("crash counter deltas (whole workload)", telemetry.Capture().Diff(before))
 	if !r.Passed() {
 		os.Exit(1)
 	}

@@ -142,6 +142,9 @@ func (l *Libsd) ListenOn(ctx exec.Context, t *host.Thread, port uint16) (*Listen
 	bl := l.backlogs[key]
 	l.mu.Unlock()
 	for bl.bindStatus.Load() == 0 {
+		if l.P.Dead() {
+			return nil, ErrProcessKilled
+		}
 		l.pollCtl(ctx)
 		ctx.Yield()
 	}
@@ -180,6 +183,9 @@ func (lst *Listener) Accept(ctx exec.Context) (*Socket, host.KFile, error) {
 	hinted := false
 	empty := 0
 	for {
+		if l.P.Dead() {
+			return nil, nil, ErrProcessKilled
+		}
 		l.pollCtl(ctx)
 		l.mu.Lock()
 		if len(bl.conns) > 0 {
@@ -207,6 +213,9 @@ func (lst *Listener) Accept(ctx exec.Context) (*Socket, host.KFile, error) {
 		// wake this queue) while we sleep.
 		l.leave()
 		bl.wq.Wait(ctx, func() bool {
+			if l.P.Dead() {
+				return true // escape the park; the loop head unwinds
+			}
 			l.pollCtl(ctx)
 			l.mu.Lock()
 			defer l.mu.Unlock()
@@ -240,6 +249,11 @@ func (l *Libsd) finishAccept(ctx exec.Context, t *host.Thread, pa *pendingAccept
 	me := int64(MakeGTID(l.P.PID, t.TID))
 	switch pa.m.Transport {
 	case ctlmsg.TransportSHM:
+		if p := l.H.Process(int(pa.m.PID)); p == nil || p.Dead() {
+			// The client crashed between dispatch and accept; kernel TCP
+			// surfaces this as a reset on the new connection.
+			return nil, nil, ECONNRESET
+		}
 		seg, err := l.H.SHM.Attach(shm.Token(pa.m.ShmToken))
 		if err != nil {
 			return nil, nil, err
@@ -311,6 +325,9 @@ func (l *Libsd) Connect(ctx exec.Context, t *host.Thread, dstHost string, dstPor
 	l.sendCtl(ctx, &m)
 
 	for pc.status.Load() == 0 {
+		if l.P.Dead() {
+			return nil, nil, ErrProcessKilled
+		}
 		l.pollCtl(ctx)
 		ctx.Charge(l.H.Costs.RingOp)
 		ctx.Yield()
@@ -361,8 +378,11 @@ func (l *Libsd) Connect(ctx exec.Context, t *host.Thread, dstHost string, dstPor
 			l.mu.Unlock()
 			return s, nil, nil
 		}
-		if !s.ep.peerAlive() {
-			return nil, nil, ErrPeerDead
+		if l.P.Dead() {
+			return nil, nil, ErrProcessKilled
+		}
+		if s.peerGone() {
+			return nil, nil, s.resetErr(ctx, DirRecv)
 		}
 		l.pollCtl(ctx)
 		l.lib_pumpYield(ctx)
@@ -616,6 +636,34 @@ func (l *Libsd) handleCtl(ctx exec.Context, m *ctlmsg.Msg) {
 
 	case ctlmsg.KDegraded:
 		l.onDegraded(ctx, m)
+
+	case ctlmsg.KPeerDead:
+		// Monitor-brokered crash notification (§4.5.4): the peer process
+		// of this queue died. Latch the reset on every local view of the
+		// queue — including a connect still parked in Wait-Server — so
+		// blocked data-path loops (woken separately through the sleeper /
+		// wake path) observe the corpse deterministically. The ring memory
+		// itself survives; receivers drain in-flight bytes before the
+		// reset surfaces.
+		l.mu.Lock()
+		var socks []*Socket
+		for s := range l.socks[m.QID] {
+			socks = append(socks, s)
+		}
+		for _, pc := range l.pending {
+			if pc.sock != nil && pc.sock.side.QID == m.QID {
+				socks = append(socks, pc.sock)
+			}
+		}
+		l.mu.Unlock()
+		for _, s := range socks {
+			s.side.PeerReset.Store(true)
+			if ep, ok := s.ep.(*rdmaEP); ok {
+				// Inter-host: the transport cannot observe a remote corpse
+				// directly, so mark the endpoint dead too (peerAlive).
+				ep.peerDeadFlg.Store(true)
+			}
+		}
 
 	case ctlmsg.KStealReq:
 		// Surrender one not-yet-accepted connection for re-dispatch.

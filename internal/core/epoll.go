@@ -84,6 +84,12 @@ func (ep *Epoll) Wait(ctx exec.Context, events []Event) (int, error) {
 		l.epollThread.H.Unpark()
 	}
 	for {
+		if l.P.Dead() {
+			// Death is routed through the wake path: terminate() unparks
+			// every thread, and this re-check unwinds the waiter instead
+			// of spinning on a corpse's FD table forever.
+			return 0, ErrProcessKilled
+		}
 		l.pollCtl(ctx)
 		l.pump(ctx)
 		n := ep.poll(events)
@@ -122,7 +128,7 @@ func (ep *Epoll) poll(events []Event) int {
 			if mask&EPOLLOUT != 0 && e.sock.Writable() {
 				got |= EPOLLOUT
 			}
-			if !e.sock.ep.peerAlive() {
+			if e.sock.peerGone() {
 				got |= EPOLLHUP
 			}
 		case fdListener:

@@ -1,0 +1,35 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Errno layer for peer-process death (§4.5.4 and kernel TCP semantics).
+//
+// io.EOF remains the orderly-shutdown signal (the peer sent MShut or
+// closed its last reference). The errors below cover the crash path: a
+// peer process that died without closing. Following kernel TCP, a
+// receiver drains all in-flight bytes first; then the first operation on
+// the socket — send or receive — consumes the "RST" and returns exactly
+// one ECONNRESET. Afterwards sends see EPIPE and receives see io.EOF.
+//
+// Both crash errnos wrap ErrPeerDead, so existing
+// errors.Is(err, ErrPeerDead) checks keep matching while new code can
+// distinguish the precise errno.
+var (
+	// ECONNRESET is returned exactly once per socket by the first
+	// operation that observes the peer's crash after the in-flight bytes
+	// have been drained.
+	ECONNRESET = fmt.Errorf("libsd: connection reset by peer (ECONNRESET): %w", ErrPeerDead)
+
+	// EPIPE is returned by the send path once the reset has been
+	// consumed: nothing will ever drain the ring again.
+	EPIPE = fmt.Errorf("libsd: broken pipe (EPIPE): %w", ErrPeerDead)
+
+	// ErrProcessKilled is returned by libsd entry points invoked from a
+	// thread whose own process has been killed; it unwinds blocked and
+	// spinning threads so the simulation can quiesce. Real SIGKILL never
+	// returns to userspace — this is the simulator's stand-in.
+	ErrProcessKilled = errors.New("libsd: calling process was killed")
+)

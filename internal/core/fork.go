@@ -32,6 +32,9 @@ func (l *Libsd) Fork(ctx exec.Context, t *host.Thread, name string) (*host.Proce
 	m := ctlmsg.Msg{Kind: ctlmsg.KForkSecret, Secret: secret, PID: int64(l.P.PID)}
 	l.sendCtl(ctx, &m)
 	for {
+		if l.P.Dead() {
+			return nil, nil, ErrProcessKilled
+		}
 		l.pollCtl(ctx)
 		l.mu.Lock()
 		acked := l.forkAcks[secret]
@@ -166,6 +169,12 @@ func (f *forkedRdmaEP) materialize(ctx exec.Context) *rdmaEP {
 	f.lib.sendCtl(ctx, &req)
 	var ep *rdmaEP
 	for {
+		if f.lib.P.Dead() || f.sock.side.PeerReset.Load() {
+			// Own death or a peer crash mid-splice: abandon the QP; the
+			// caller's peerGone/Dead checks surface the right errno.
+			qp.Close()
+			return nil
+		}
 		f.lib.pollCtl(ctx)
 		// Fork-flow entries carry nonce 0 (recovery attempts in recover.go
 		// use unique nonces, so the flows cannot cross-match).
@@ -195,10 +204,18 @@ func (f *forkedRdmaEP) materialize(ctx exec.Context) *rdmaEP {
 }
 
 func (f *forkedRdmaEP) trySend(ctx exec.Context, typ uint8, a, b []byte) bool {
-	return f.materialize(ctx).trySend(ctx, typ, a, b)
+	ep := f.materialize(ctx)
+	if ep == nil {
+		return false // death mid-splice; the retry loop surfaces the errno
+	}
+	return ep.trySend(ctx, typ, a, b)
 }
 func (f *forkedRdmaEP) tryRecv(ctx exec.Context) (shm.Msg, bool) {
-	return f.materialize(ctx).tryRecv(ctx)
+	ep := f.materialize(ctx)
+	if ep == nil {
+		return shm.Msg{}, false
+	}
+	return ep.tryRecv(ctx)
 }
 func (f *forkedRdmaEP) canRecv() bool {
 	if f.real == nil {
@@ -216,7 +233,9 @@ func (f *forkedRdmaEP) progress(ctx exec.Context) {
 }
 func (f *forkedRdmaEP) peerAlive() bool {
 	if f.real == nil {
-		return true
+		// Not yet spliced: only the monitor's KPeerDead latch can tell us
+		// the remote process died.
+		return !f.sock.side.PeerReset.Load()
 	}
 	return f.real.peerAlive()
 }

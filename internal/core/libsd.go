@@ -255,6 +255,9 @@ func (l *Libsd) sendCtl(ctx exec.Context, m *ctlmsg.Msg) {
 	l.ctlMu.Lock()
 	for !l.ctl.TX.TrySend(0, 0, b) {
 		l.ctlMu.Unlock()
+		if l.P.Dead() {
+			return // corpse control traffic is droppable; don't spin
+		}
 		if ctx != nil {
 			ctx.Yield()
 		}
@@ -464,3 +467,28 @@ func (l *Libsd) armAutoPump() {
 
 // GTIDOf returns the token identity for a thread.
 func (l *Libsd) GTIDOf(t *host.Thread) GTID { return MakeGTID(l.P.PID, t.TID) }
+
+// OnProcessDeath is the kernel-teardown hook (host.Process.terminate
+// asserts for it): it runs exactly once when this process is killed,
+// before the FD table is reaped. Closing every QP flushes outstanding
+// work requests so their staged packet buffers return to the global pool
+// (bufpool.Outstanding must converge after a crash), and retires the
+// QPNs so late fabric frames are dropped instead of landing in rings the
+// monitor is about to reclaim. Ring memory itself stays mapped — the
+// surviving peer still drains in-flight bytes before seeing the reset.
+func (l *Libsd) OnProcessDeath() {
+	l.mu.Lock()
+	eps := make([]*rdmaEP, 0, len(l.eps))
+	for _, ep := range l.eps {
+		eps = append(eps, ep)
+	}
+	l.eps = make(map[uint32]*rdmaEP)
+	l.mu.Unlock()
+	closed := make(map[*rdma.QP]bool)
+	for _, ep := range eps {
+		if !closed[ep.qp] {
+			closed[ep.qp] = true
+			ep.qp.Close()
+		}
+	}
+}

@@ -20,5 +20,6 @@ var (
 	mEpollWaits    = telemetry.C(telemetry.CoreEpollWaits)
 	mEpollSweeps   = telemetry.C(telemetry.CoreEpollSweeps)
 	mTCPFallbacks  = telemetry.C(telemetry.CoreTCPFallbacks)
+	mResets        = telemetry.C(telemetry.CoreResets)
 	mBatchSize     = telemetry.D(telemetry.ShmBatchSize)
 )

@@ -85,7 +85,13 @@ func Migrate(l *Libsd, dst *host.Host, name string) (*host.Process, *Libsd, erro
 		nl.trackSock(cs)
 	}
 
-	// The container stops existing at the source.
+	// The container stops existing at the source. Tell the source monitor
+	// the sockets migrated with it first: the kill below must read as a
+	// graceful handoff, not a crash — a KPeerDead fan-out here would reset
+	// live connections the destination is about to re-splice.
+	if d, ok := l.H.Mon.(interface{ DetachProcess(pid int) }); ok {
+		d.DetachProcess(l.P.PID)
+	}
 	l.P.Signal(nil, host.SIGKILL)
 	return np, nl, nil
 }

@@ -89,8 +89,13 @@ func (s *Socket) acquireToken(ctx exec.Context, t *host.Thread, dir int) error {
 			if cur == 0 && holder.CompareAndSwap(0, me) {
 				return nil // freed while we waited
 			}
-			if !s.ep.peerAlive() {
-				return ErrPeerDead
+			if s.lib.P.Dead() {
+				return ErrProcessKilled
+			}
+			if s.peerGone() && (dir == DirSend || !s.hasDrainable()) {
+				// Peer crashed and (for receivers) nothing is left to
+				// drain; no point waiting for a token on a dead queue.
+				return s.resetErr(ctx, dir)
 			}
 			// Note: no hand-back of OUR pending grant here — that would
 			// drop us from the monitor's FIFO. But revocations against
@@ -162,6 +167,9 @@ func (s *Socket) maybeHandBack(ctx exec.Context, dir int) {
 func (s *Socket) Send(ctx exec.Context, t *host.Thread, data []byte) (int, error) {
 	s.lib.enter()
 	defer s.lib.leave()
+	if s.lib.P.Dead() {
+		return 0, ErrProcessKilled
+	}
 	mSendOps.Inc()
 	mSendBytes.Add(int64(len(data)))
 	if err := s.acquireToken(ctx, t, DirSend); err != nil {
@@ -200,9 +208,11 @@ func (s *Socket) sendMsg(ctx exec.Context, typ uint8, a, b []byte) error {
 
 func (s *Socket) sendMsgT(ctx exec.Context, t *host.Thread, typ uint8, a, b []byte) error {
 	for !s.ep.trySend(ctx, typ, a, b) {
-		if !s.ep.peerAlive() {
-			s.raiseHUP(ctx)
-			return ErrPeerDead
+		if s.lib.P.Dead() {
+			return ErrProcessKilled
+		}
+		if s.peerGone() {
+			return s.resetErr(ctx, DirSend)
 		}
 		if s.side.RxShut.Load() && s.side.TxShut.Load() {
 			return ErrShutdown
@@ -241,6 +251,9 @@ func (s *Socket) sendMsgT(ctx exec.Context, t *host.Thread, typ uint8, a, b []by
 func (s *Socket) Recv(ctx exec.Context, t *host.Thread, buf []byte) (int, error) {
 	s.lib.enter()
 	defer s.lib.leave()
+	if s.lib.P.Dead() {
+		return 0, ErrProcessKilled
+	}
 	mRecvOps.Inc()
 	if err := s.acquireToken(ctx, t, DirRecv); err != nil {
 		return 0, err
@@ -290,9 +303,13 @@ func (s *Socket) blockOnRecv(ctx exec.Context, t *host.Thread) error {
 		if s.ep.canRecv() {
 			return nil
 		}
-		if !s.ep.peerAlive() {
-			s.raiseHUP(ctx)
-			return ErrPeerDead
+		if s.lib.P.Dead() {
+			return ErrProcessKilled
+		}
+		if s.peerGone() {
+			// canRecv was checked first, so in-flight bytes always drain
+			// before the crash surfaces (reset-after-drain).
+			return s.resetErr(ctx, DirRecv)
 		}
 		if s.side.RxShut.Load() {
 			return nil // EOF surfaces in caller
@@ -356,6 +373,40 @@ func (s *Socket) raiseHUP(ctx exec.Context) {
 	s.lib.P.Signal(ctx, host.SIGHUP)
 }
 
+// peerGone reports that the peer process crashed: observed directly
+// through the transport (a corpse's PID on the SHM segment, an RDMA QP
+// error) or latched from the monitor's KPeerDead broadcast.
+func (s *Socket) peerGone() bool {
+	return s.side.PeerReset.Load() || !s.ep.peerAlive()
+}
+
+// hasDrainable reports in-flight bytes not yet delivered to the
+// application; kernel TCP delivers these before surfacing a reset.
+func (s *Socket) hasDrainable() bool {
+	return len(s.rxPending) > 0 || len(s.rxZC) > 0 || s.ep.canRecv()
+}
+
+// resetErr surfaces a peer-process crash with kernel TCP errno
+// sequencing: the first operation that observes the corpse consumes the
+// reset — ECONNRESET, one sd/core/resets tick, SIGHUP per §4.5.4 —
+// and afterwards sends fail with EPIPE while receives report orderly
+// io.EOF.
+func (s *Socket) resetErr(ctx exec.Context, dir int) error {
+	if s.side.ResetSeen.CompareAndSwap(false, true) {
+		mResets.Inc()
+		if telemetry.Trace.Enabled() {
+			telemetry.Trace.Emit(ctx.Now(), "core", "reset",
+				telemetry.A("qid", int64(s.side.QID)), telemetry.A("dir", int64(dir)))
+		}
+		s.raiseHUP(ctx)
+		return ECONNRESET
+	}
+	if dir == DirSend {
+		return EPIPE
+	}
+	return io.EOF
+}
+
 // --- close / shutdown (§4.5.4) ---
 
 // Shutdown closes one or both directions, pushing out an in-band MShut.
@@ -393,7 +444,7 @@ func (s *Socket) Close(ctx exec.Context, t *host.Thread) error {
 // Readable reports whether Recv would make progress (epoll hook).
 func (s *Socket) Readable() bool {
 	return len(s.rxPending) > 0 || len(s.rxZC) > 0 || s.ep.canRecv() ||
-		s.side.RxShut.Load() || !s.ep.peerAlive()
+		s.side.RxShut.Load() || s.peerGone()
 }
 
 // Writable reports whether the TX ring has room.

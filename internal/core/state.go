@@ -105,6 +105,14 @@ type SideState struct {
 	TxShut atomic.Bool // we sent MShut
 	RxShut atomic.Bool // peer sent MShut
 
+	// Crash state (§4.5.4). PeerReset latches when the monitor reports the
+	// peer process dead (KPeerDead) or the local host observes its corpse
+	// directly; the ring memory survives, so in-flight bytes drain first.
+	// ResetSeen serializes reset-after-drain to kernel TCP semantics: the
+	// first post-drain receive returns ECONNRESET, later ones io.EOF.
+	PeerReset atomic.Bool
+	ResetSeen atomic.Bool
+
 	// --- RDMA-transport shared state (zero for SHM sockets). Living in
 	// the SHM segment keeps forked processes coherent: the child's fresh
 	// QP continues exactly where the parent's stopped (§4.1.2). ---

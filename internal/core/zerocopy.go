@@ -248,8 +248,11 @@ func (s *Socket) zcSendInterChunk(ctx exec.Context, ep *rdmaEP, addr mem.VAddr, 
 		s.side.PoolMu.Unlock()
 		s.drainCtl(ctx)
 		s.lib.pump(ctx)
-		if !s.ep.peerAlive() {
-			return ErrPeerDead
+		if s.lib.P.Dead() {
+			return ErrProcessKilled
+		}
+		if s.peerGone() {
+			return s.resetErr(ctx, DirSend)
 		}
 		ctx.Charge(s.lib.H.Costs.RingOp)
 		ctx.Yield()
@@ -519,8 +522,11 @@ func (s *Socket) recvExactly(ctx exec.Context, buf []byte) (int, error) {
 		}
 		msg, ok := s.ep.tryRecv(ctx)
 		if !ok {
-			if !s.ep.peerAlive() {
-				return got, ErrPeerDead
+			if s.lib.P.Dead() {
+				return got, ErrProcessKilled
+			}
+			if s.peerGone() {
+				return got, s.resetErr(ctx, DirRecv)
 			}
 			ctx.Charge(s.lib.H.Costs.RingOp)
 			ctx.Yield()

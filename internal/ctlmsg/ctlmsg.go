@@ -37,6 +37,7 @@ const (
 	KReQPRes                     // peer libsd -> monitor -> libsd: new remote QPN
 	KDegrade                     // libsd -> monitor: fall back to kernel TCP (§4.5.3)
 	KDegraded                    // monitor -> libsd: rescue TCP socket installed (Aux=fd)
+	KPeerDead                    // monitor -> libsd / monitor -> monitor: peer process of QID died
 )
 
 // kindNames maps Kind values to stable lower-case names (telemetry keys,
@@ -66,10 +67,11 @@ var kindNames = [...]string{
 	KReQPRes:     "reqp_res",
 	KDegrade:     "degrade",
 	KDegraded:    "degraded",
+	KPeerDead:    "peer_dead",
 }
 
 // NumKinds is one past the highest defined Kind (array sizing).
-const NumKinds = int(KDegraded) + 1
+const NumKinds = int(KPeerDead) + 1
 
 // Dir values for KReQP/KReQPPeer: a QP re-establishment is either the
 // fork flow of §4.1.2 (the old QP stays alive — the parent still uses it)

@@ -1,0 +1,19 @@
+package experiments
+
+import "testing"
+
+// TestCrashSoak runs the process-crash drill: every pair loses one end to
+// a scheduled SIGKILL mid-transfer, and each survivor must observe a
+// byte-exact prefix followed by exactly one ECONNRESET, with both
+// monitors converged and no pooled buffers leaked. Run under -race in CI.
+func TestCrashSoak(t *testing.T) {
+	intra, inter := 4, 4
+	if testing.Short() {
+		intra, inter = 2, 2
+	}
+	r := Crash(intra, inter, 1024)
+	t.Logf("\n%s", r)
+	if !r.Passed() {
+		t.Fatalf("crash drill failed:\n%s", r)
+	}
+}

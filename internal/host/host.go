@@ -38,6 +38,21 @@ type Host struct {
 	// Mon holds the host's monitor daemon (set by internal/monitor); the
 	// host layer never inspects it.
 	Mon any
+
+	// deathHooks run after a process's kernel teardown (the monitor's
+	// per-process lifeline registers here; the host layer stays ignorant
+	// of what listens).
+	deathHooks []func(pid int)
+}
+
+// OnProcessDeath registers fn to run (with the dead pid) after every
+// process teardown on this host — after the FD table is closed and the
+// process's threads have been woken, so a hook observes the corpse in
+// its final state.
+func (h *Host) OnProcessDeath(fn func(pid int)) {
+	h.mu.Lock()
+	h.deathHooks = append(h.deathHooks, fn)
+	h.mu.Unlock()
 }
 
 // New creates a host on the given runtime. costs may be nil for
@@ -203,18 +218,17 @@ func (p *Process) RegisterHandler(s Signal, fn func(Signal)) {
 	p.mu.Unlock()
 }
 
-// Signal delivers a signal: SIGKILL marks the process dead; other signals
-// run the registered handler (in the caller's context, like an interrupt)
-// after the kernel's delivery cost.
+// Signal delivers a signal: SIGKILL runs the full kernel teardown (FD
+// table close, thread wakeups, death hooks); other signals run the
+// registered handler (in the caller's context, like an interrupt) after
+// the kernel's delivery cost.
 func (p *Process) Signal(ctx exec.Context, s Signal) {
 	mSignals.Inc()
 	if ctx != nil {
 		ctx.Charge(p.Host.Costs.SignalDeliver)
 	}
 	if s == SIGKILL {
-		p.mu.Lock()
-		p.dead = true
-		p.mu.Unlock()
+		p.terminate(ctx)
 		return
 	}
 	p.mu.Lock()
@@ -222,6 +236,57 @@ func (p *Process) Signal(ctx exec.Context, s Signal) {
 	p.mu.Unlock()
 	if fn != nil {
 		fn(s)
+	}
+}
+
+// Exit runs the kernel's process teardown, as if the process called
+// exit(2): every FD-table entry is closed and the death hooks fire. The
+// calling thread should return promptly afterwards.
+func (p *Process) Exit(ctx exec.Context) { p.terminate(ctx) }
+
+// terminate is the kernel-style teardown shared by Exit and SIGKILL. It
+// is idempotent (the first caller wins). Order matters:
+//
+//  1. mark the process dead, so every libsd poll loop that checks
+//     Dead() unwinds instead of spinning forever;
+//  2. let the user-space library release transport resources (QPs with
+//     staged send buffers) through its opaque teardown hook;
+//  3. close every FD-table entry — Dup refcounts mean a fork-shared
+//     pipe or kernel socket signals EOF only when the last sharer dies;
+//  4. unpark every thread, routing death through the wake path: a
+//     thread parked inside a wait re-runs its condition, observes the
+//     corpse, and exits;
+//  5. fire the host death hooks (the monitor's per-process lifeline).
+func (p *Process) terminate(ctx exec.Context) {
+	p.mu.Lock()
+	if p.dead {
+		p.mu.Unlock()
+		return
+	}
+	p.dead = true
+	fds := p.fds
+	p.fds = make(map[int]*FDEntry)
+	p.freeFDs = nil
+	p.nextFD = 0
+	threads := append([]*Thread(nil), p.threads...)
+	lib := p.Libsd
+	p.mu.Unlock()
+
+	if td, ok := lib.(interface{ OnProcessDeath() }); ok {
+		td.OnProcessDeath()
+	}
+	for _, e := range fds {
+		e.file.Close(ctx)
+	}
+	for _, t := range threads {
+		th := t.H
+		p.Host.Clk.After(p.Host.Costs.ProcessWakeup, th.Unpark)
+	}
+	p.Host.mu.Lock()
+	hooks := append([]func(pid int){}, p.Host.deathHooks...)
+	p.Host.mu.Unlock()
+	for _, fn := range hooks {
+		fn(p.PID)
 	}
 }
 

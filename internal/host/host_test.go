@@ -185,6 +185,95 @@ func TestForkSharesKernelFDs(t *testing.T) {
 	s2.Run()
 }
 
+func TestCloseFDTwiceFails(t *testing.T) {
+	s, h := newSimHost(nil)
+	p := h.NewProcess("app", 0)
+	s.Spawn("t", func(ctx exec.Context) {
+		r, w := h.Kern.Pipe()
+		fd := p.InstallFD(r)
+		_ = p.InstallFD(w)
+		if err := p.CloseFD(ctx, fd); err != nil {
+			t.Errorf("first close: %v", err)
+		}
+		if err := p.CloseFD(ctx, fd); err == nil {
+			t.Error("double close succeeded; want bad-fd error")
+		}
+	})
+	s.Run()
+}
+
+func TestKillReapsFDTablePipePeerSeesEOF(t *testing.T) {
+	s, h := newSimHost(nil)
+	victim := h.NewProcess("victim", 0)
+	obs := h.NewProcess("observer", 0)
+	r, w := h.Kern.Pipe()
+	victim.InstallFD(w) // only the victim holds the write end
+	var readErr error
+	obs.Spawn("read", func(ctx exec.Context, _ *Thread) {
+		buf := make([]byte, 4)
+		_, readErr = r.Read(ctx, buf)
+	})
+	obs.Spawn("kill", func(ctx exec.Context, _ *Thread) {
+		ctx.Sleep(10_000)
+		victim.Signal(ctx, SIGKILL)
+	})
+	s.Run()
+	if readErr != io.EOF {
+		t.Fatalf("want EOF after SIGKILL reaped the write end, got %v", readErr)
+	}
+}
+
+func TestForkRefcountsDelayEOFUntilLastSharerDies(t *testing.T) {
+	s, h := newSimHost(nil)
+	victim := h.NewProcess("victim", 0)
+	obs := h.NewProcess("observer", 0)
+	r, w := h.Kern.Pipe()
+	victim.InstallFD(w)
+	child := victim.Fork("child") // Dup: the write end now has two owners
+	var readErr error
+	var eofAt int64
+	obs.Spawn("read", func(ctx exec.Context, _ *Thread) {
+		buf := make([]byte, 4)
+		_, readErr = r.Read(ctx, buf)
+		eofAt = ctx.Now()
+	})
+	obs.Spawn("kill", func(ctx exec.Context, _ *Thread) {
+		ctx.Sleep(10_000)
+		victim.Signal(ctx, SIGKILL) // first sharer dies: pipe stays open
+		ctx.Sleep(40_000)
+		child.Signal(ctx, SIGKILL) // last sharer dies: now EOF
+	})
+	s.Run()
+	if readErr != io.EOF {
+		t.Fatalf("want EOF after the last sharer died, got %v", readErr)
+	}
+	if eofAt < 50_000 {
+		t.Fatalf("EOF at %d, before the last sharer died (50000): refcount ignored", eofAt)
+	}
+}
+
+func TestCrashTeardownResetsFDTable(t *testing.T) {
+	s, h := newSimHost(nil)
+	p := h.NewProcess("app", 0)
+	s.Spawn("t", func(ctx exec.Context) {
+		r, w := h.Kern.Pipe()
+		p.InstallFD(r)
+		p.InstallFD(w)
+		p.CloseFD(ctx, 0)
+		p.Signal(ctx, SIGKILL)
+		if _, ok := p.LookupFD(1); ok {
+			t.Error("fd survived crash teardown")
+		}
+		// The kernel recycles the numbers: lowest-available restarts at 0
+		// (a recycled PID's table must not inherit crash-time holes).
+		r2, _ := h.Kern.Pipe()
+		if got := p.InstallFD(r2); got != 0 {
+			t.Errorf("post-crash install gave %d, want 0", got)
+		}
+	})
+	s.Run()
+}
+
 func TestSignalsAndKill(t *testing.T) {
 	s, h := newSimHost(nil)
 	p := h.NewProcess("app", 0)

@@ -16,6 +16,7 @@ var (
 	mWakes         = telemetry.C(telemetry.MonWakes)
 	mMchanHeals    = telemetry.C(telemetry.MonMchanHeals)
 	mRescues       = telemetry.C(telemetry.MonRescues)
+	mCrashCleanups = telemetry.C(telemetry.MonCrashCleanups)
 
 	// mCtlByKind indexes a per-kind counter by ctlmsg.Kind, so counting a
 	// control message is two atomic adds and no map lookup.

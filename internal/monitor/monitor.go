@@ -60,6 +60,9 @@ type Monitor struct {
 	reqpRoute  map[uint64]string        // qid -> requester host for KReQPRes routing
 	sleepers   map[int]map[int]struct{} // pid -> tids parked in interrupt mode
 	rescueL    *ksocket.Listener        // TCP listener for mid-stream degradation (§4.5.3)
+	conns      map[uint64]*connRec      // qid -> endpoints, for crash cleanup
+	deaths     []int                    // pids awaiting crash cleanup (lifeline queue)
+	deadPIDs   map[int]struct{}         // pids already cleaned up (idempotence)
 
 	thread  exec.Thread
 	parked  bool
@@ -89,6 +92,16 @@ type tokKey struct {
 type tokState struct {
 	waiters    []waiterRef
 	revokeSent bool
+	revokeTo   int // pid the outstanding KTokenReturn was sent to
+}
+
+// connRec remembers a connection's endpoints so a process's death can be
+// routed to its peers: both pids for an intra-host socket, one local pid
+// plus the remote host for an inter-host one.
+type connRec struct {
+	pids     [2]int // [client, listener]; 0 = not local
+	peerHost string // "" = intra-host
+	shmTok   shm.Token
 }
 
 type waiterRef struct{ pid, tid int }
@@ -125,9 +138,19 @@ func Start(h *host.Host, ks *ksocket.Stack) *Monitor {
 		steals:     make(map[uint64]stealReq),
 		reqpRoute:  make(map[uint64]string),
 		sleepers:   make(map[int]map[int]struct{}),
+		conns:      make(map[uint64]*connRec),
+		deadPIDs:   make(map[int]struct{}),
 		probeSeq:   9000,
 	}
 	h.Mon = m
+	// Per-process lifeline: the kernel teardown reports every death; the
+	// daemon runs the actual reclamation on its own thread.
+	h.OnProcessDeath(func(pid int) {
+		m.mu.Lock()
+		m.deaths = append(m.deaths, pid)
+		m.mu.Unlock()
+		m.wake()
+	})
 	if ks != nil {
 		ks.TCP().SetSynFilter(m.synFilter)
 		// Rescue listener: accepts the kernel TCP connections that replace
@@ -218,6 +241,14 @@ func (m *Monitor) run(ctx exec.Context) {
 
 		progress := false
 		m.mu.Lock()
+		deaths := m.deaths
+		m.deaths = nil
+		m.mu.Unlock()
+		for _, pid := range deaths {
+			m.cleanupProcess(ctx, pid)
+			progress = true
+		}
+		m.mu.Lock()
 		probes := m.probeDone
 		m.probeDone = nil
 		m.mu.Unlock()
@@ -291,11 +322,210 @@ func (m *Monitor) sendTo(ctx exec.Context, pid int, cm *ctlmsg.Msg, signal bool)
 	var buf [ctlmsg.Size]byte
 	b := cm.Marshal(buf[:])
 	for !pc.d.B().TX.TrySend(0, 0, b) {
+		if pc.p.Dead() {
+			// A corpse never drains its ring; spinning here would wedge
+			// the whole control plane behind one dead process.
+			return
+		}
 		ctx.Yield()
 	}
 	if signal && !pc.p.Dead() {
 		pc.p.Signal(ctx, host.SIGUSR1)
 	}
+}
+
+// pidDead reports whether a local pid no longer has a live process behind
+// it (unknown pids count as dead: the process was reaped).
+func (m *Monitor) pidDead(pid int) bool {
+	p := m.H.Process(pid)
+	return p == nil || p.Dead()
+}
+
+// cleanupProcess is the monitor half of the crash path (§3.1: the monitor
+// is the trusted party that must reclaim whatever an untrusted process
+// held). It runs on the daemon thread, so it is serialized with every
+// other control-plane action. In order: forget the corpse's control
+// queue, listener registrations, sleep notes, fork secrets and pending
+// routing state; unstick token arbitration (a revoke sent to the corpse
+// is answered on its behalf, so fork/thread sharers resume via the normal
+// §4.1 takeover path); then notify every peer — KPeerDead to local
+// survivors (plus a wake, they may be parked) and over the monitor
+// channel for inter-host sockets — and remove SHM segments of sockets
+// with no surviving endpoint.
+func (m *Monitor) cleanupProcess(ctx exec.Context, pid int) {
+	m.mu.Lock()
+	if _, done := m.deadPIDs[pid]; done {
+		m.mu.Unlock()
+		return
+	}
+	m.deadPIDs[pid] = struct{}{}
+	delete(m.procs, pid)
+	delete(m.sleepers, pid)
+	for port, refs := range m.listeners {
+		out := refs[:0]
+		for _, r := range refs {
+			if r.pid != pid {
+				out = append(out, r)
+			}
+		}
+		if len(out) == 0 {
+			delete(m.listeners, port)
+		} else {
+			m.listeners[port] = out
+		}
+	}
+	for sec, owner := range m.secrets {
+		if owner == pid {
+			delete(m.secrets, sec)
+		}
+	}
+	for id, sr := range m.steals {
+		if sr.thiefPID == pid {
+			delete(m.steals, id)
+		}
+	}
+	for connID, e := range m.remotePend {
+		if e.clientPID == pid {
+			delete(m.remotePend, connID)
+		}
+	}
+	// Token arbitration: drop the corpse from waiting lists, and if an
+	// outstanding revoke was addressed to it, answer on its behalf.
+	var regrant []tokKey
+	for key, ts := range m.tokens {
+		out := ts.waiters[:0]
+		for _, w := range ts.waiters {
+			if w.pid != pid {
+				out = append(out, w)
+			}
+		}
+		ts.waiters = out
+		if ts.revokeSent && ts.revokeTo == pid {
+			ts.revokeSent = false
+			ts.revokeTo = 0
+			if len(ts.waiters) > 0 {
+				regrant = append(regrant, key)
+			}
+		}
+	}
+	// Connections: collect the peers to notify.
+	type peerNote struct {
+		qid    uint64
+		local  int    // surviving local pid (0 = none)
+		remote string // surviving remote host ("" = none)
+	}
+	var notes []peerNote
+	for qid, c := range m.conns {
+		if c.pids[0] != pid && c.pids[1] != pid {
+			continue
+		}
+		if m.connOwner[qid] == pid {
+			delete(m.connOwner, qid)
+		}
+		n := peerNote{qid: qid, remote: c.peerHost}
+		if other := c.pids[0] + c.pids[1] - pid; other != pid && other != 0 && !m.pidDead(other) {
+			n.local = other
+		}
+		if n.local == 0 && c.peerHost == "" {
+			// No endpoint left alive on this host and none remote: the
+			// socket's SHM segment is unreachable garbage now.
+			if c.shmTok != 0 {
+				m.H.SHM.Remove(c.shmTok)
+			}
+			delete(m.conns, qid)
+			continue
+		}
+		if c.peerHost != "" {
+			// The record covered the (single) local endpoint; the remote
+			// monitor owns the rest of the teardown.
+			delete(m.conns, qid)
+		}
+		notes = append(notes, n)
+	}
+	m.mu.Unlock()
+
+	mCrashCleanups.Inc()
+	if telemetry.Trace.Enabled() {
+		telemetry.Trace.Emit(ctx.Now(), "monitor", "crash_cleanup",
+			telemetry.A("pid", int64(pid)))
+	}
+	for _, key := range regrant {
+		m.grantNext(ctx, key)
+	}
+	for _, n := range notes {
+		pd := ctlmsg.Msg{Kind: ctlmsg.KPeerDead, QID: n.qid, PID: int64(pid)}
+		if n.remote != "" {
+			pd.SetHost(m.H.Name)
+			m.mchanSend(ctx, n.remote, &pd, true)
+			continue
+		}
+		m.sendTo(ctx, n.local, &pd, true)
+		m.wakeSleepers(n.local)
+	}
+}
+
+// DetachProcess forgets pid's connection records without the crash
+// fan-out. Container live migration (§4.1.3) moves the sockets — ring
+// memory, QIDs and all — to another host and then kills the husk left
+// at the source; treating that kill as a crash would reset perfectly
+// healthy connections (and drop the peer monitor's routing entry the
+// migrated process needs for its QP re-splice). The lifeline still runs
+// afterwards and reclaims everything else the pid held.
+func (m *Monitor) DetachProcess(pid int) {
+	m.mu.Lock()
+	for qid, c := range m.conns {
+		if c.pids[0] == pid || c.pids[1] == pid {
+			delete(m.conns, qid)
+			if m.connOwner[qid] == pid {
+				delete(m.connOwner, qid)
+			}
+		}
+	}
+	m.mu.Unlock()
+}
+
+// CrashConverged verifies that no monitor state still refers to a dead
+// process — the post-drill invariant the crash experiment asserts.
+func (m *Monitor) CrashConverged() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for pid := range m.procs {
+		if m.pidDead(pid) {
+			return fmt.Errorf("monitor: dead pid %d still registered", pid)
+		}
+	}
+	for port, refs := range m.listeners {
+		for _, r := range refs {
+			if m.pidDead(r.pid) {
+				return fmt.Errorf("monitor: dead pid %d still listed on port %d", r.pid, port)
+			}
+		}
+	}
+	for key, ts := range m.tokens {
+		for _, w := range ts.waiters {
+			if m.pidDead(w.pid) {
+				return fmt.Errorf("monitor: dead pid %d still waiting on token %v", w.pid, key)
+			}
+		}
+		if ts.revokeSent && ts.revokeTo != 0 && m.pidDead(ts.revokeTo) {
+			return fmt.Errorf("monitor: revoke outstanding to dead pid %d on token %v", ts.revokeTo, key)
+		}
+	}
+	for pid := range m.sleepers {
+		if m.pidDead(pid) {
+			return fmt.Errorf("monitor: dead pid %d still has sleep notes", pid)
+		}
+	}
+	for qid, c := range m.conns {
+		if c.peerHost != "" {
+			continue
+		}
+		a, b := c.pids[0], c.pids[1]
+		if (a == 0 || m.pidDead(a)) && (b == 0 || m.pidDead(b)) {
+			return fmt.Errorf("monitor: conn %d has no live endpoint but was not reclaimed", qid)
+		}
+	}
+	return nil
 }
 
 func (m *Monitor) handle(ctx exec.Context, pc *procChan, cm *ctlmsg.Msg) {
@@ -429,6 +659,7 @@ func (m *Monitor) handleRemote(ctx exec.Context, mc *mchan, cm *ctlmsg.Msg) {
 		m.mu.Lock()
 		m.remotePend[cm.ConnID] = remotePendEntry{clientHost: mc.peer}
 		m.connOwner[cm.ConnID] = ref.pid
+		m.conns[cm.ConnID] = &connRec{pids: [2]int{0, ref.pid}, peerHost: mc.peer}
 		m.ConnsDispatched++
 		m.mu.Unlock()
 		mDispatches.Inc()
@@ -468,6 +699,19 @@ func (m *Monitor) handleRemote(ctx exec.Context, mc *mchan, cm *ctlmsg.Msg) {
 		// Back at the requester's host: deliver to the requester.
 		m.sendTo(ctx, int(cm.Aux), cm, true)
 		m.wakeSleepers(int(cm.Aux))
+	case ctlmsg.KPeerDead:
+		// The remote monitor reclaimed a crashed process; tell the local
+		// endpoint of the socket (and wake it — it may be parked with no
+		// doorbell left to ring).
+		m.mu.Lock()
+		owner := m.connOwner[cm.QID]
+		delete(m.conns, cm.QID)
+		delete(m.connOwner, cm.QID)
+		m.mu.Unlock()
+		if owner != 0 {
+			m.sendTo(ctx, owner, cm, true)
+			m.wakeSleepers(owner)
+		}
 	}
 }
 
@@ -556,6 +800,7 @@ func (m *Monitor) onConnect(ctx exec.Context, pc *procChan, cm *ctlmsg.Msg) {
 	}
 	m.mu.Lock()
 	m.connOwner[cm.ConnID] = int(cm.PID)
+	m.conns[cm.ConnID] = &connRec{pids: [2]int{int(cm.PID), 0}, peerHost: dst}
 	m.remotePend[cm.ConnID] = remotePendEntry{clientPID: int(cm.PID)}
 	mc := m.mchans[dst]
 	if mc != nil && mc.qp.State() == rdma.QPErr {
@@ -602,6 +847,7 @@ func (m *Monitor) dispatchIntra(ctx exec.Context, pc *procChan, cm *ctlmsg.Msg) 
 	seg := m.H.SHM.Create(fmt.Sprintf("intra-%d", cm.ConnID), is)
 	m.mu.Lock()
 	m.connOwner[cm.ConnID] = ref.pid
+	m.conns[cm.ConnID] = &connRec{pids: [2]int{pc.p.PID, ref.pid}, shmTok: seg.Token}
 	m.ConnsDispatched++
 	m.mu.Unlock()
 	mDispatches.Inc()
@@ -647,11 +893,18 @@ func (m *Monitor) onTakeover(ctx exec.Context, pc *procChan, cm *ctlmsg.Msg) {
 	}
 	first := len(ts.waiters) == 1 && !dup
 	holder := core.GTID(cm.Aux)
+	if holder != 0 && m.pidDead(holder.PID()) {
+		// The recorded holder is a corpse: nothing will ever return the
+		// token, so the monitor reclaims it and grants directly (the
+		// waiter's grant handler overwrites the holder word in SHM).
+		holder = 0
+	}
 	m.mu.Unlock()
 	if !first {
 		if dup && !tsRevoking(m, key) && holder != 0 {
 			// Re-request after a snatched grant: restart the revoke chain.
 			rev := ctlmsg.Msg{Kind: ctlmsg.KTokenReturn, QID: cm.QID, Dir: cm.Dir, SrcPort: cm.SrcPort}
+			m.setRevoke(key, holder.PID())
 			m.sendTo(ctx, holder.PID(), &rev, true)
 		}
 		return // already revoking; FIFO queue holds this waiter
@@ -660,14 +913,20 @@ func (m *Monitor) onTakeover(ctx exec.Context, pc *procChan, cm *ctlmsg.Msg) {
 		m.grantNext(ctx, key)
 		return
 	}
-	m.mu.Lock()
-	ts.revokeSent = true
-	m.mu.Unlock()
+	m.setRevoke(key, holder.PID())
 	// Ask the holder to give it back; the signal interrupts a busy process.
 	rev := ctlmsg.Msg{Kind: ctlmsg.KTokenReturn, QID: cm.QID, Dir: cm.Dir, SrcPort: cm.SrcPort}
 	m.sendTo(ctx, holder.PID(), &rev, true)
+}
+
+// setRevoke marks an outstanding token revoke addressed to pid; crash
+// cleanup answers it if pid dies before returning the token.
+func (m *Monitor) setRevoke(key tokKey, pid int) {
 	m.mu.Lock()
-	ts.revokeSent = true
+	if ts := m.tokens[key]; ts != nil {
+		ts.revokeSent = true
+		ts.revokeTo = pid
+	}
 	m.mu.Unlock()
 }
 
@@ -684,6 +943,7 @@ func (m *Monitor) onTokenReturned(ctx exec.Context, cm *ctlmsg.Msg) {
 	ts := m.tokens[key]
 	if ts != nil {
 		ts.revokeSent = false
+		ts.revokeTo = 0
 	}
 	pending := ts != nil && len(ts.waiters) > 0
 	m.mu.Unlock()
@@ -713,11 +973,7 @@ func (m *Monitor) grantNext(ctx exec.Context, key tokKey) {
 	m.sendTo(ctx, w.pid, &grant, false)
 	if more {
 		// The new holder immediately owes the token to the next waiter.
-		m.mu.Lock()
-		if ts := m.tokens[key]; ts != nil {
-			ts.revokeSent = true
-		}
-		m.mu.Unlock()
+		m.setRevoke(key, w.pid)
 		rev := ctlmsg.Msg{Kind: ctlmsg.KTokenReturn, QID: key.qid, Dir: key.dir, SrcPort: key.side}
 		m.sendTo(ctx, w.pid, &rev, true)
 	}
@@ -764,6 +1020,9 @@ func (m *Monitor) onStealRes(ctx exec.Context, pc *procChan, cm *ctlmsg.Msg) {
 	nc.TID = int64(sr.thiefTID)
 	m.mu.Lock()
 	m.connOwner[cm.ConnID] = sr.thiefPID
+	if c := m.conns[cm.ConnID]; c != nil {
+		c.pids[1] = sr.thiefPID // the stolen conn now terminates at the thief
+	}
 	m.mu.Unlock()
 	m.sendTo(ctx, sr.thiefPID, &nc, true)
 }

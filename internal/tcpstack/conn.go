@@ -377,7 +377,9 @@ func (c *Conn) Writable() bool {
 
 // Close sends FIN; reads on the peer drain then return EOF.
 func (c *Conn) Close(ctx exec.Context) error {
-	if c.st.mode == ModeKernel {
+	// nil ctx: the kernel reaping a dead process's FD table; there is no
+	// thread left to charge the syscall to.
+	if c.st.mode == ModeKernel && ctx != nil {
 		c.st.h.Kern.Syscall(ctx)
 	}
 	c.mu.Lock()

@@ -59,6 +59,7 @@ const (
 	CoreEpollWaits    = "sd/core/epoll/waits"
 	CoreEpollSweeps   = "sd/core/epoll/kernel_sweeps"
 	CoreTCPFallbacks  = "sd/core/tcp_fallbacks"
+	CoreResets        = "sd/core/resets" // connection resets surfaced (ECONNRESET/EPIPE)
 
 	// monitor control plane.
 	MonCtlMsgs       = "sd/monitor/ctl_msgs" // plus /k<kind> suffixed per-kind counters
@@ -70,6 +71,7 @@ const (
 	MonWakes         = "sd/monitor/thread_wakes"
 	MonMchanHeals    = "sd/monitor/mchan_heals"
 	MonRescues       = "sd/monitor/rescues"
+	MonCrashCleanups = "sd/monitor/crash_cleanups"
 
 	// host / simulated kernel — the Table 4 rows.
 	HostSyscalls   = "sd/host/syscalls"

@@ -54,12 +54,18 @@ const (
 	Second      int64 = 1000 * 1000 * 1000
 )
 
-// Re-exported sentinels.
+// Re-exported sentinels. ECONNRESET and EPIPE both wrap ErrPeerDead, so
+// errors.Is(err, ErrPeerDead) matches any crash-path errno while the
+// specific sentinel tells send (EPIPE) from receive (ECONNRESET)
+// failures apart.
 var (
-	ErrDenied     = core.ErrDenied
-	ErrNoListener = core.ErrNoListener
-	ErrPeerDead   = core.ErrPeerDead
-	EOF           = io.EOF
+	ErrDenied        = core.ErrDenied
+	ErrNoListener    = core.ErrNoListener
+	ErrPeerDead      = core.ErrPeerDead
+	ECONNRESET       = core.ECONNRESET
+	EPIPE            = core.EPIPE
+	ErrProcessKilled = core.ErrProcessKilled
+	EOF              = io.EOF
 )
 
 // Config selects the cluster's execution mode and cost calibration.
@@ -173,6 +179,20 @@ func (h *Host) NewProcess(name string, uid int) *Process {
 	}
 	return &Process{h: h, P: p, Lib: lib}
 }
+
+// Kill delivers SIGKILL from the calling thread's context: the process
+// dies instantly, the host runs kernel-style teardown (FD table reaped,
+// threads unwound), and the monitor's lifeline reclaims everything it
+// held (§4.5.4). Surviving peers drain in-flight bytes and then see
+// ECONNRESET/EPIPE.
+func (t *T) Kill(victim *Process) { victim.P.Signal(t.Ctx, host.SIGKILL) }
+
+// Exit terminates the calling thread's own process, with the same
+// teardown path as Kill.
+func (t *T) Exit() { t.Pr.P.Exit(t.Ctx) }
+
+// Dead reports whether the process has been killed.
+func (p *Process) Dead() bool { return p.P.Dead() }
 
 // T is a thread's execution handle: the socket API surface.
 type T struct {
