@@ -19,6 +19,10 @@
 //	                    survivors must see byte-exact prefixes then exactly
 //	                    one ECONNRESET, monitors must converge, no buffer
 //	                    leaks
+//	sdbench mrestart    monitor-restart drill: both hosts' monitors stopped
+//	                    and restarted mid-transfer; streams stay byte-exact
+//	                    with zero resets, downtime control ops bound at
+//	                    ETIMEDOUT, successors resurrect state and converge
 //	sdbench all         everything above
 //	sdbench stats [experiment...]
 //	                    run the experiments (default: table2) and dump the
@@ -73,9 +77,11 @@ func main() {
 		"ablate":    ablate,
 		"chaos":     chaos,
 		"crash":     crash,
+		"mrestart":  mrestart,
 	}
 	order := []string{"table2", "table4", "fig7", "fig8",
-		"fig9", "fig10", "fig11", "fig12", "redis", "connscale", "ablate", "chaos", "crash"}
+		"fig9", "fig10", "fig11", "fig12", "redis", "connscale", "ablate", "chaos", "crash",
+		"mrestart"}
 	switch cmd {
 	case "all":
 		for _, name := range order {
@@ -275,6 +281,17 @@ func crash() {
 	fmt.Println(r)
 	fmt.Println()
 	printDeltas("crash counter deltas (whole workload)", telemetry.Capture().Diff(before))
+	if !r.Passed() {
+		os.Exit(1)
+	}
+}
+
+func mrestart() {
+	before := telemetry.Capture()
+	r := experiments.MRestart(4, 4, 4096, 150)
+	fmt.Println(r)
+	fmt.Println()
+	printDeltas("mrestart counter deltas (whole workload)", telemetry.Capture().Diff(before))
 	if !r.Passed() {
 		os.Exit(1)
 	}

@@ -141,12 +141,14 @@ func (l *Libsd) ListenOn(ctx exec.Context, t *host.Thread, port uint16) (*Listen
 	}
 	bl := l.backlogs[key]
 	l.mu.Unlock()
+	w := l.newCtlWaiter(ctx, func(c exec.Context) { l.sendCtl(c, &m) })
 	for bl.bindStatus.Load() == 0 {
 		if l.P.Dead() {
 			return nil, ErrProcessKilled
 		}
-		l.pollCtl(ctx)
-		ctx.Yield()
+		if err := w.step(ctx); err != nil {
+			return nil, err // ETIMEDOUT: no monitor answered the bind
+		}
 	}
 	if st := uint8(bl.bindStatus.Load()); st != 1 {
 		switch st - 1 {
@@ -181,6 +183,7 @@ func (lst *Listener) Accept(ctx exec.Context) (*Socket, host.KFile, error) {
 	bl := l.backlogs[key]
 	l.mu.Unlock()
 	hinted := false
+	hintEpoch := l.monEpoch.Load()
 	empty := 0
 	for {
 		if l.P.Dead() {
@@ -195,6 +198,13 @@ func (lst *Listener) Accept(ctx exec.Context) (*Socket, host.KFile, error) {
 			return l.finishAccept(ctx, lst.t, pa)
 		}
 		l.mu.Unlock()
+		if e := l.monEpoch.Load(); e != hintEpoch {
+			// The monitor restarted while we waited: the steal hint died
+			// with it (accept itself stays blocking — dispatches resume
+			// once the re-registration report rebuilds the bind table).
+			hintEpoch = e
+			hinted = false
+		}
 		if !hinted {
 			// Ask the monitor to steal from a sibling's backlog.
 			m := ctlmsg.Msg{Kind: ctlmsg.KAcceptHint, Port: lst.port, PID: int64(l.P.PID), TID: int64(lst.t.TID)}
@@ -260,7 +270,7 @@ func (l *Libsd) finishAccept(ctx exec.Context, t *host.Thread, pa *pendingAccept
 		}
 		is := seg.Obj.(*IntraSock)
 		is.B.PeerPID.Store(int64(pa.m.PID)) // client pid
-		s := &Socket{lib: l, side: is.B, intra: is, sideIdx: 1}
+		s := &Socket{lib: l, side: is.B, intra: is, sideIdx: 1, shmTok: pa.m.ShmToken}
 		s.ep = &shmEP{lib: l, side: is.B, peerSide: is.A}
 		s.side.SendHolder.Store(me)
 		s.side.RecvHolder.Store(me)
@@ -324,13 +334,24 @@ func (l *Libsd) Connect(ctx exec.Context, t *host.Thread, dstHost string, dstPor
 	}
 	l.sendCtl(ctx, &m)
 
+	// Bounded wait for the KConnectRes: a monitor that dies mid-dispatch
+	// must not park this thread forever. A re-send across a restart is
+	// safe — the monitor dedups connects by ConnID.
+	w := l.newCtlWaiter(ctx, func(c exec.Context) { l.sendCtl(c, &m) })
 	for pc.status.Load() == 0 {
 		if l.P.Dead() {
 			return nil, nil, ErrProcessKilled
 		}
-		l.pollCtl(ctx)
-		ctx.Charge(l.H.Costs.RingOp)
-		ctx.Yield()
+		if err := w.step(ctx); err != nil {
+			l.mu.Lock()
+			delete(l.pending, connID)
+			l.mu.Unlock()
+			if pc.rl != nil {
+				// Abandon the optimistic endpoint; its QP never connected.
+				pc.rl.qp.Close()
+			}
+			return nil, nil, err // ETIMEDOUT
+		}
 	}
 	if pc.status.Load() != 1 {
 		l.mu.Lock()
@@ -433,7 +454,7 @@ func (l *Libsd) handleCtl(ctx exec.Context, m *ctlmsg.Msg) {
 			}
 			is := seg.Obj.(*IntraSock)
 			is.A.PeerPID.Store(m.PID) // server pid
-			s := &Socket{lib: l, side: is.A, intra: is, sideIdx: 0}
+			s := &Socket{lib: l, side: is.A, intra: is, sideIdx: 0, shmTok: m.ShmToken}
 			s.ep = &shmEP{lib: l, side: is.A, peerSide: is.B}
 			l.mu.Lock()
 			pc.sock = s
@@ -544,6 +565,15 @@ func (l *Libsd) handleCtl(ctx exec.Context, m *ctlmsg.Msg) {
 		l.mu.Lock()
 		l.forkAcks[m.Secret] = true
 		l.mu.Unlock()
+
+	case ctlmsg.KPong:
+		// Liveness answer to a bounded wait's KPing; the receipt timestamp
+		// pollCtl already recorded is the whole payload.
+
+	case ctlmsg.KReRegister:
+		// A restarted monitor incarnation introduces itself (pollCtl
+		// already adopted its epoch): replay our durable state into it.
+		l.reRegisterReport(ctx)
 
 	case ctlmsg.KReQPPeer:
 		// A peer process needs a fresh QP spliced to this socket: either a

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"socksdirect/internal/ctlmsg"
+	"socksdirect/internal/exec"
+)
+
+// Bounded control-plane waits. Every libsd path that blocks on a monitor
+// round trip (bind, connect, token takeover, fork pairing, post-fork QP
+// splice) used to park forever if the daemon died mid-request. These
+// waits are now bounded — but not by a plain deadline: a FIFO token wait
+// behind a long queue, or a connect to a slow remote host, can
+// legitimately take arbitrarily long while the monitor is perfectly
+// healthy. The deadline therefore measures monitor *silence*: while
+// waiting, the thread pings the daemon whenever nothing has been heard
+// for ctlPingEvery, and only gives up (ETIMEDOUT / EAGAIN) once nothing —
+// no pong, no other control message — has arrived for ctlDeadAfter.
+//
+// The waiter also survives a monitor restart transparently: the request
+// it carried died with the old incarnation (the successor drops stale-
+// epoch messages), so when the observed epoch changes — the successor's
+// KReRegister bumps it — the waiter re-issues the original request,
+// stamped with the new epoch, and the wait continues as if nothing
+// happened.
+const (
+	ctlPingEvery = 2_000_000  // 2 ms of silence -> probe the daemon
+	ctlDeadAfter = 10_000_000 // 10 ms of silence -> the daemon is gone
+	ctlSpinBurst = 64         // yields between sleep throttles
+	ctlSleepStep = 100_000    // 100 µs park per throttle round
+)
+
+type ctlWaiter struct {
+	l        *Libsd
+	start    int64
+	lastPing int64
+	epoch    uint32 // incarnation the in-flight request was stamped for
+	resend   func(exec.Context)
+	spins    int
+}
+
+// newCtlWaiter starts the silence clock for one in-flight control-plane
+// request. resend re-issues the request verbatim (sendCtl re-stamps the
+// epoch); it must be idempotent at the monitor — every request kind is,
+// by ConnID/registration dedup.
+func (l *Libsd) newCtlWaiter(ctx exec.Context, resend func(exec.Context)) *ctlWaiter {
+	now := l.H.Clk.Now()
+	return &ctlWaiter{l: l, start: now, lastPing: now,
+		epoch: l.monEpoch.Load(), resend: resend}
+}
+
+// step runs one iteration of a bounded wait: drain the control queue,
+// re-issue across a restart, ping on silence, and yield (with a sleep
+// throttle so a long outage costs events, not a per-nanosecond spin).
+// It returns ErrMonitorDown-wrapped ETIMEDOUT once the silence deadline
+// passes; the caller maps it to its own errno if needed.
+func (w *ctlWaiter) step(ctx exec.Context) error {
+	l := w.l
+	l.pollCtl(ctx)
+	now := l.H.Clk.Now()
+	if e := l.monEpoch.Load(); e != w.epoch {
+		// A new incarnation introduced itself: our request died with the
+		// old one. Re-issue under the new epoch and restart the clock.
+		w.epoch = e
+		w.start = now
+		w.lastPing = now
+		if w.resend != nil {
+			w.resend(ctx)
+		}
+	}
+	quiet := now - w.start
+	if last := l.lastCtlRecv.Load(); last > w.start {
+		quiet = now - last
+	}
+	if quiet > ctlDeadAfter {
+		return ETIMEDOUT
+	}
+	if now-w.lastPing >= ctlPingEvery {
+		w.lastPing = now
+		ping := ctlmsg.Msg{Kind: ctlmsg.KPing, PID: int64(l.P.PID)}
+		l.sendCtl(ctx, &ping)
+	}
+	ctx.Charge(l.H.Costs.RingOp)
+	w.spins++
+	if w.spins%ctlSpinBurst == 0 {
+		ctx.Sleep(ctlSleepStep)
+	} else {
+		ctx.Yield()
+	}
+	return nil
+}

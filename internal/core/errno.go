@@ -32,4 +32,21 @@ var (
 	// spinning threads so the simulation can quiesce. Real SIGKILL never
 	// returns to userspace — this is the simulator's stand-in.
 	ErrProcessKilled = errors.New("libsd: calling process was killed")
+
+	// ErrMonitorDown is the base error for control-plane operations that
+	// found the monitor daemon unresponsive past the silence deadline. It
+	// is never returned bare — callers see ETIMEDOUT or EAGAIN, both of
+	// which wrap it so errors.Is(err, ErrMonitorDown) matches either.
+	ErrMonitorDown = errors.New("libsd: monitor daemon unresponsive")
+
+	// ETIMEDOUT is returned by connection-setup paths (bind/listen,
+	// connect) whose control-plane round trip died with the monitor. The
+	// operation left no partial state behind: retrying it after the
+	// monitor restarts succeeds normally.
+	ETIMEDOUT = fmt.Errorf("libsd: control-plane timeout (ETIMEDOUT): %w", ErrMonitorDown)
+
+	// EAGAIN is returned by retryable in-band waits (token takeover, fork
+	// secret pairing) when the monitor goes silent: the caller's state is
+	// intact and the same call may simply be issued again.
+	EAGAIN = fmt.Errorf("libsd: resource temporarily unavailable (EAGAIN): %w", ErrMonitorDown)
 )

@@ -31,11 +31,11 @@ func (l *Libsd) Fork(ctx exec.Context, t *host.Thread, name string) (*host.Proce
 	secret := uint64(l.P.PID)<<32 ^ uint64(l.H.Clk.Now()) ^ 0x5ec4e7
 	m := ctlmsg.Msg{Kind: ctlmsg.KForkSecret, Secret: secret, PID: int64(l.P.PID)}
 	l.sendCtl(ctx, &m)
+	w := l.newCtlWaiter(ctx, func(c exec.Context) { l.sendCtl(c, &m) })
 	for {
 		if l.P.Dead() {
 			return nil, nil, ErrProcessKilled
 		}
-		l.pollCtl(ctx)
 		l.mu.Lock()
 		acked := l.forkAcks[secret]
 		if acked {
@@ -45,8 +45,10 @@ func (l *Libsd) Fork(ctx exec.Context, t *host.Thread, name string) (*host.Proce
 		if acked {
 			break
 		}
-		ctx.Charge(l.H.Costs.RingOp)
-		ctx.Yield()
+		if err := w.step(ctx); err != nil {
+			// No monitor to pair the child: fork is simply retryable.
+			return nil, nil, EAGAIN
+		}
 	}
 
 	// Step 2: the actual fork (kernel FD table shared by the host layer).
@@ -168,6 +170,11 @@ func (f *forkedRdmaEP) materialize(ctx exec.Context) *rdmaEP {
 	f.lib.mu.Unlock()
 	f.lib.sendCtl(ctx, &req)
 	var ep *rdmaEP
+	// Bounded only against monitor death, not against time: the data-path
+	// contract (trySend/tryRecv) has no errno channel, so a timeout here
+	// re-issues the splice request instead of failing — the wait survives
+	// any number of monitor restarts and completes when one answers.
+	w := f.lib.newCtlWaiter(ctx, func(c exec.Context) { f.lib.sendCtl(c, &req) })
 	for {
 		if f.lib.P.Dead() || f.sock.side.PeerReset.Load() {
 			// Own death or a peer crash mid-splice: abandon the QP; the
@@ -175,7 +182,6 @@ func (f *forkedRdmaEP) materialize(ctx exec.Context) *rdmaEP {
 			qp.Close()
 			return nil
 		}
-		f.lib.pollCtl(ctx)
 		// Fork-flow entries carry nonce 0 (recovery attempts in recover.go
 		// use unique nonces, so the flows cannot cross-match).
 		if pr, done := f.lib.takeReQP(side.QID, 0); done {
@@ -195,8 +201,12 @@ func (f *forkedRdmaEP) materialize(ctx exec.Context) *rdmaEP {
 			qp.Connect(pr.peerHost, f.peerQPN)
 			break
 		}
-		ctx.Charge(f.lib.H.Costs.RingOp)
-		ctx.Yield()
+		if err := w.step(ctx); err != nil {
+			// Monitor silence: re-send the splice request and keep
+			// waiting (the peer regenerates its KReQPRes on re-request).
+			w = f.lib.newCtlWaiter(ctx, func(c exec.Context) { f.lib.sendCtl(c, &req) })
+			f.lib.sendCtl(ctx, &req)
+		}
 	}
 	f.real = ep
 	f.sock.ep = ep

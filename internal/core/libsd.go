@@ -60,6 +60,19 @@ type Libsd struct {
 	ctl     shm.Side   // app side of the monitor duplex
 	wakeMon func()
 
+	// monEpoch is the monitor incarnation this process believes it is
+	// talking to: stamped on every outgoing control message, bumped when a
+	// higher-epoch message (a restarted daemon's KReRegister) arrives.
+	monEpoch atomic.Uint32
+	// lastCtlRecv is the virtual time any control message was last
+	// received; bounded waits measure monitor silence against it.
+	lastCtlRecv atomic.Int64
+
+	// sleepNotes tracks threads that published a KSleepNote and parked;
+	// a restarted monitor learns them from the re-registration report.
+	sleepMu    sync.Mutex
+	sleepNotes map[int]struct{}
+
 	mu      sync.Mutex
 	fds     map[int]*fdEntry
 	nextFD  int
@@ -150,23 +163,25 @@ func initWith(p *host.Process, link *ProcLink) (*Libsd, error) {
 		return nil, ErrNoMonitor
 	}
 	l := &Libsd{
-		P:        p,
-		H:        p.Host,
-		ctl:      link.D.A(),
-		wakeMon:  link.WakeMonitor,
-		fds:      make(map[int]*fdEntry),
-		pending:  make(map[uint64]*pendingConn),
-		backlogs: make(map[backlogKey]*backlog),
-		socks:    make(map[uint64]map[*Socket]struct{}),
-		eps:      make(map[uint32]*rdmaEP),
-		sendCQ:   rdma.NewCQ(),
-		recvCQ:   rdma.NewCQ(),
-		epolls:   make(map[*Epoll]struct{}),
-		forkAcks: make(map[uint64]bool),
-		batching: true,
+		P:          p,
+		H:          p.Host,
+		ctl:        link.D.A(),
+		wakeMon:    link.WakeMonitor,
+		fds:        make(map[int]*fdEntry),
+		pending:    make(map[uint64]*pendingConn),
+		backlogs:   make(map[backlogKey]*backlog),
+		socks:      make(map[uint64]map[*Socket]struct{}),
+		eps:        make(map[uint32]*rdmaEP),
+		sendCQ:     rdma.NewCQ(),
+		recvCQ:     rdma.NewCQ(),
+		epolls:     make(map[*Epoll]struct{}),
+		forkAcks:   make(map[uint64]bool),
+		sleepNotes: make(map[int]struct{}),
+		batching:   true,
 
 		recoveryBudget: DefaultRecoveryBudget,
 	}
+	l.monEpoch.Store(link.Epoch)
 	l.pd = p.Host.NIC.AllocPD()
 	l.armAutoPump()
 	p.Libsd = l
@@ -248,8 +263,12 @@ func (l *Libsd) processRevokes(ctx exec.Context) {
 // --- control plane ---
 
 // sendCtl enqueues a message on the monitor queue (blocking on a full
-// ring, which in practice never happens on the control plane).
+// ring, which in practice never happens on the control plane). Every
+// message is stamped with the monitor epoch this process last heard from;
+// a successor incarnation drops older stamps, and the sender's bounded
+// wait re-sends under the new epoch.
 func (l *Libsd) sendCtl(ctx exec.Context, m *ctlmsg.Msg) {
+	m.Epoch = l.monEpoch.Load()
 	var buf [ctlmsg.Size]byte
 	b := m.Marshal(buf[:])
 	l.ctlMu.Lock()
@@ -285,7 +304,34 @@ func (l *Libsd) pollCtl(ctx exec.Context) bool {
 			return progress
 		}
 		progress = true
+		l.lastCtlRecv.Store(l.H.Clk.Now())
+		if m.Epoch != 0 && !l.noteMonEpoch(m.Epoch) {
+			continue // a dead incarnation's leftover: drop it
+		}
 		l.handleCtl(ctx, &m)
+	}
+}
+
+// noteMonEpoch folds an incoming message's epoch into monEpoch. A higher
+// epoch means the monitor restarted (its KReRegister is how we normally
+// learn); an older one marks a message written by an incarnation that no
+// longer exists, which the caller must drop. The monitor ring is FIFO so
+// older stamps are rare — they require the process to have learned the
+// new epoch through another thread mid-drain — but dropping them is what
+// keeps a late grant or dispatch from resurrecting retired state.
+func (l *Libsd) noteMonEpoch(e uint32) bool {
+	for {
+		cur := l.monEpoch.Load()
+		if e == cur {
+			return true
+		}
+		if e < cur {
+			mCtlStale.Inc()
+			return false
+		}
+		if l.monEpoch.CompareAndSwap(cur, e) {
+			return true
+		}
 	}
 }
 

@@ -21,5 +21,10 @@ var (
 	mEpollSweeps   = telemetry.C(telemetry.CoreEpollSweeps)
 	mTCPFallbacks  = telemetry.C(telemetry.CoreTCPFallbacks)
 	mResets        = telemetry.C(telemetry.CoreResets)
-	mBatchSize     = telemetry.D(telemetry.ShmBatchSize)
+
+	// mCtlStale shares the monitor's stale-drop counter: a control message
+	// stamped by a dead monitor incarnation is the same event whichever
+	// side of the ring notices it.
+	mCtlStale  = telemetry.C(telemetry.MonStaleDropped)
+	mBatchSize = telemetry.D(telemetry.ShmBatchSize)
 )

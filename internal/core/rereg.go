@@ -1,0 +1,109 @@
+package core
+
+import (
+	"sort"
+
+	"socksdirect/internal/ctlmsg"
+	"socksdirect/internal/exec"
+)
+
+// Re-registration: the libsd half of monitor state resurrection. A
+// restarted monitor adopts this process's control queue and sends one
+// KReRegister; the process answers with a replay of everything the dead
+// incarnation knew about it — live listeners, established connections,
+// held tokens, parked threads, in-flight connects — as a stream of
+// KReRegistered records closed by a ReRegDone. The report describes only
+// durable state the process itself owns (SHM-resident rings, FD tables),
+// so it can be regenerated on every restart, and every record is
+// idempotent at the monitor.
+func (l *Libsd) reRegisterReport(ctx exec.Context) {
+	type listenRec struct {
+		port uint16
+		tid  int
+	}
+	type connRec struct {
+		qid     uint64
+		sideIdx uint16
+		peer    string
+		shmTok  uint64
+		sendTok bool
+		recvTok bool
+	}
+	myPID := l.P.PID
+	l.mu.Lock()
+	listens := make([]listenRec, 0, len(l.backlogs))
+	for key, bl := range l.backlogs {
+		if bl.bindStatus.Load() == 1 {
+			listens = append(listens, listenRec{port: key.port, tid: key.tid})
+		}
+	}
+	conns := make([]connRec, 0, len(l.socks))
+	for qid, set := range l.socks {
+		for s := range set {
+			cr := connRec{qid: qid, sideIdx: s.sideIdx,
+				peer: s.side.PeerHost, shmTok: s.shmTok}
+			cr.sendTok = GTID(s.side.SendHolder.Load()).PID() == myPID
+			cr.recvTok = GTID(s.side.RecvHolder.Load()).PID() == myPID
+			conns = append(conns, cr)
+			break // one socket per queue describes the whole registration
+		}
+	}
+	pends := make([]uint64, 0, len(l.pending))
+	for connID, pc := range l.pending {
+		if pc.status.Load() == 0 {
+			pends = append(pends, connID)
+		}
+	}
+	l.mu.Unlock()
+	l.sleepMu.Lock()
+	tids := make([]int, 0, len(l.sleepNotes))
+	for tid := range l.sleepNotes {
+		tids = append(tids, tid)
+	}
+	l.sleepMu.Unlock()
+	// Deterministic replay order (maps iterate randomly).
+	sort.Slice(listens, func(i, j int) bool {
+		if listens[i].port != listens[j].port {
+			return listens[i].port < listens[j].port
+		}
+		return listens[i].tid < listens[j].tid
+	})
+	sort.Slice(conns, func(i, j int) bool { return conns[i].qid < conns[j].qid })
+	sort.Slice(pends, func(i, j int) bool { return pends[i] < pends[j] })
+	sort.Ints(tids)
+
+	pid := int64(myPID)
+	for _, lr := range listens {
+		r := ctlmsg.Msg{Kind: ctlmsg.KReRegistered, Aux: ctlmsg.ReRegListen,
+			Port: lr.port, PID: pid, TID: int64(lr.tid)}
+		l.sendCtl(ctx, &r)
+	}
+	for _, cr := range conns {
+		r := ctlmsg.Msg{Kind: ctlmsg.KReRegistered, Aux: ctlmsg.ReRegConn,
+			QID: cr.qid, PID: pid, Dir: uint8(cr.sideIdx), ShmToken: cr.shmTok}
+		r.SetHost(cr.peer) // "" for intra-host
+		l.sendCtl(ctx, &r)
+		if cr.sendTok {
+			t := ctlmsg.Msg{Kind: ctlmsg.KReRegistered, Aux: ctlmsg.ReRegToken,
+				QID: cr.qid, PID: pid, Dir: uint8(DirSend), SrcPort: cr.sideIdx}
+			l.sendCtl(ctx, &t)
+		}
+		if cr.recvTok {
+			t := ctlmsg.Msg{Kind: ctlmsg.KReRegistered, Aux: ctlmsg.ReRegToken,
+				QID: cr.qid, PID: pid, Dir: uint8(DirRecv), SrcPort: cr.sideIdx}
+			l.sendCtl(ctx, &t)
+		}
+	}
+	for _, tid := range tids {
+		r := ctlmsg.Msg{Kind: ctlmsg.KReRegistered, Aux: ctlmsg.ReRegSleeper,
+			PID: pid, TID: int64(tid)}
+		l.sendCtl(ctx, &r)
+	}
+	for _, connID := range pends {
+		r := ctlmsg.Msg{Kind: ctlmsg.KReRegistered, Aux: ctlmsg.ReRegPend,
+			ConnID: connID, PID: pid}
+		l.sendCtl(ctx, &r)
+	}
+	done := ctlmsg.Msg{Kind: ctlmsg.KReRegistered, Aux: ctlmsg.ReRegDone, PID: pid}
+	l.sendCtl(ctx, &done)
+}

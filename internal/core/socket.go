@@ -35,6 +35,11 @@ type Socket struct {
 
 	intra *IntraSock // non-nil for intra-host sockets
 
+	// shmTok is the SHM segment token of an intra-host socket (0 for
+	// RDMA sockets); replayed to a restarted monitor so segment
+	// accounting — reclaim-on-crash — survives the restart.
+	shmTok uint64
+
 	// stream reassembly: bytes of a partially consumed ring message.
 	rxPending []byte
 
@@ -81,6 +86,15 @@ func (s *Socket) acquireToken(ctx exec.Context, t *host.Thread, dir int) error {
 		}
 		s.lib.sendCtl(ctx, &m)
 		polls := 0
+		// Bounded wait: a long FIFO queue behind a healthy monitor waits as
+		// long as it takes (the daemon keeps answering pings); only monitor
+		// silence aborts, with EAGAIN — the takeover is simply retryable.
+		// Across a restart the waiter re-enters the successor's (empty)
+		// FIFO automatically.
+		w := s.lib.newCtlWaiter(ctx, func(c exec.Context) {
+			m.Aux = uint64(holder.Load())
+			s.lib.sendCtl(c, &m)
+		})
 		for {
 			cur := holder.Load()
 			if cur == me {
@@ -101,10 +115,10 @@ func (s *Socket) acquireToken(ctx exec.Context, t *host.Thread, dir int) error {
 			// drop us from the monitor's FIFO. But revocations against
 			// idle holders (threads parked in application code) are
 			// executed on their behalf; the busy counters make it safe.
-			s.lib.pollCtl(ctx)
 			s.lib.processRevokes(ctx)
-			ctx.Charge(s.lib.H.Costs.RingOp)
-			ctx.Yield()
+			if err := w.step(ctx); err != nil {
+				return EAGAIN
+			}
 			polls++
 			if polls%4096 == 0 {
 				// A grant may have been snatched by a faster claimant
@@ -353,7 +367,16 @@ func (s *Socket) blockOnRecv(ctx exec.Context, t *host.Thread) error {
 			mRecvSleeps.Inc()
 			m := ctlmsg.Msg{Kind: ctlmsg.KSleepNote, QID: s.side.QID, PID: int64(s.lib.P.PID), TID: int64(t.TID)}
 			s.lib.sendCtl(ctx, &m)
+			// Track the park so a restarted monitor — whose predecessor's
+			// sleeper table died with it — relearns this thread from the
+			// re-registration report and can still ring its doorbell.
+			s.lib.sleepMu.Lock()
+			s.lib.sleepNotes[t.TID] = struct{}{}
+			s.lib.sleepMu.Unlock()
 			ctx.Park()
+			s.lib.sleepMu.Lock()
+			delete(s.lib.sleepNotes, t.TID)
+			s.lib.sleepMu.Unlock()
 			mRecvWakeups.Inc()
 		}
 		s.side.RecvSleeper.Store(0)

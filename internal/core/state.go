@@ -196,4 +196,9 @@ type ProcLink struct {
 	D           *shm.Duplex
 	WakeMonitor func()
 	MonitorHost string
+	// Epoch is the monitor incarnation that issued this link. libsd stamps
+	// it on every control message; a restarted monitor (higher epoch)
+	// drops messages carrying an older stamp, and libsd learns the new
+	// epoch from the successor's KReRegister.
+	Epoch uint32
 }

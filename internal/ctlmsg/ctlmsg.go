@@ -13,65 +13,75 @@ type Kind uint8
 
 // Control message kinds: libsd -> monitor unless noted.
 const (
-	KBind        Kind = iota + 1 // reserve a port
-	KBindRes                     // monitor -> libsd: bind result
-	KListen                      // register (port, thread) as a listener
-	KConnect                     // SYN: open a connection
-	KConnectRes                  // monitor -> libsd: queue descriptor or failure
-	KNewConn                     // monitor -> listener libsd: dispatched connection
-	KAcceptHint                  // accept on empty backlog: steal request
-	KStealReq                    // monitor -> listener libsd: give one back
-	KStealRes                    // listener libsd -> monitor: stolen conn (or none)
-	KTakeover                    // request a queue token (§4.1.1)
-	KTokenReturn                 // monitor -> holder: return the token / holder -> monitor: here it is
-	KTokenGrant                  // monitor -> waiter: you hold the token now
-	KForkSecret                  // parent libsd -> monitor before fork (§4.1.2)
-	KChildHello                  // child libsd -> monitor after fork
-	KWake                        // peer/monitor -> libsd: wake a sleeping thread
-	KSleepNote                   // libsd -> monitor: thread entering interrupt mode
-	KMSyn                        // monitor -> monitor: dispatch inter-host SYN
-	KMSynAck                     // monitor -> monitor: server queue descriptor
-	KMRefused                    // monitor -> monitor: no listener
-	KReQP                        // libsd -> monitor: re-establish a QP after fork
-	KReQPPeer                    // monitor -> peer libsd: attach an extra QP
-	KReQPRes                     // peer libsd -> monitor -> libsd: new remote QPN
-	KDegrade                     // libsd -> monitor: fall back to kernel TCP (§4.5.3)
-	KDegraded                    // monitor -> libsd: rescue TCP socket installed (Aux=fd)
-	KPeerDead                    // monitor -> libsd / monitor -> monitor: peer process of QID died
+	KBind         Kind = iota + 1 // reserve a port
+	KBindRes                      // monitor -> libsd: bind result
+	KListen                       // register (port, thread) as a listener
+	KConnect                      // SYN: open a connection
+	KConnectRes                   // monitor -> libsd: queue descriptor or failure
+	KNewConn                      // monitor -> listener libsd: dispatched connection
+	KAcceptHint                   // accept on empty backlog: steal request
+	KStealReq                     // monitor -> listener libsd: give one back
+	KStealRes                     // listener libsd -> monitor: stolen conn (or none)
+	KTakeover                     // request a queue token (§4.1.1)
+	KTokenReturn                  // monitor -> holder: return the token / holder -> monitor: here it is
+	KTokenGrant                   // monitor -> waiter: you hold the token now
+	KForkSecret                   // parent libsd -> monitor before fork (§4.1.2)
+	KChildHello                   // child libsd -> monitor after fork
+	KWake                         // peer/monitor -> libsd: wake a sleeping thread
+	KSleepNote                    // libsd -> monitor: thread entering interrupt mode
+	KMSyn                         // monitor -> monitor: dispatch inter-host SYN
+	KMSynAck                      // monitor -> monitor: server queue descriptor
+	KMRefused                     // monitor -> monitor: no listener
+	KReQP                         // libsd -> monitor: re-establish a QP after fork
+	KReQPPeer                     // monitor -> peer libsd: attach an extra QP
+	KReQPRes                      // peer libsd -> monitor -> libsd: new remote QPN
+	KDegrade                      // libsd -> monitor: fall back to kernel TCP (§4.5.3)
+	KDegraded                     // monitor -> libsd: rescue TCP socket installed (Aux=fd)
+	KPeerDead                     // monitor -> libsd / monitor -> monitor: peer process of QID died
+	KPing                         // libsd -> monitor: liveness probe from a bounded control wait
+	KPong                         // monitor -> libsd: liveness answer (carries the epoch)
+	KReRegister                   // monitor -> libsd: new incarnation asks for a state report
+	KReRegistered                 // libsd -> monitor: one state-report record (Aux selects ReReg*)
+	KMHeartbeat                   // monitor -> monitor: periodic liveness beacon
 )
 
 // kindNames maps Kind values to stable lower-case names (telemetry keys,
 // trace events, debug output).
 var kindNames = [...]string{
-	KBind:        "bind",
-	KBindRes:     "bind_res",
-	KListen:      "listen",
-	KConnect:     "connect",
-	KConnectRes:  "connect_res",
-	KNewConn:     "new_conn",
-	KAcceptHint:  "accept_hint",
-	KStealReq:    "steal_req",
-	KStealRes:    "steal_res",
-	KTakeover:    "takeover",
-	KTokenReturn: "token_return",
-	KTokenGrant:  "token_grant",
-	KForkSecret:  "fork_secret",
-	KChildHello:  "child_hello",
-	KWake:        "wake",
-	KSleepNote:   "sleep_note",
-	KMSyn:        "msyn",
-	KMSynAck:     "msyn_ack",
-	KMRefused:    "mrefused",
-	KReQP:        "reqp",
-	KReQPPeer:    "reqp_peer",
-	KReQPRes:     "reqp_res",
-	KDegrade:     "degrade",
-	KDegraded:    "degraded",
-	KPeerDead:    "peer_dead",
+	KBind:         "bind",
+	KBindRes:      "bind_res",
+	KListen:       "listen",
+	KConnect:      "connect",
+	KConnectRes:   "connect_res",
+	KNewConn:      "new_conn",
+	KAcceptHint:   "accept_hint",
+	KStealReq:     "steal_req",
+	KStealRes:     "steal_res",
+	KTakeover:     "takeover",
+	KTokenReturn:  "token_return",
+	KTokenGrant:   "token_grant",
+	KForkSecret:   "fork_secret",
+	KChildHello:   "child_hello",
+	KWake:         "wake",
+	KSleepNote:    "sleep_note",
+	KMSyn:         "msyn",
+	KMSynAck:      "msyn_ack",
+	KMRefused:     "mrefused",
+	KReQP:         "reqp",
+	KReQPPeer:     "reqp_peer",
+	KReQPRes:      "reqp_res",
+	KDegrade:      "degrade",
+	KDegraded:     "degraded",
+	KPeerDead:     "peer_dead",
+	KPing:         "ping",
+	KPong:         "pong",
+	KReRegister:   "reregister",
+	KReRegistered: "reregistered",
+	KMHeartbeat:   "mheartbeat",
 }
 
 // NumKinds is one past the highest defined Kind (array sizing).
-const NumKinds = int(KPeerDead) + 1
+const NumKinds = int(KMHeartbeat) + 1
 
 // Dir values for KReQP/KReQPPeer: a QP re-establishment is either the
 // fork flow of §4.1.2 (the old QP stays alive — the parent still uses it)
@@ -80,6 +90,17 @@ const NumKinds = int(KPeerDead) + 1
 const (
 	ReQPFork     uint8 = 0
 	ReQPRecovery uint8 = 1
+)
+
+// Aux values of KReRegistered: which slice of process state one record of
+// the resurrection report (monitor restart, §3's per-host daemon) carries.
+const (
+	ReRegDone    uint64 = iota // final record: report complete
+	ReRegListen                // a live listener registration (Port, TID)
+	ReRegConn                  // an established connection (QID, peer)
+	ReRegToken                 // a queue token held by this process (QID, Dir)
+	ReRegSleeper               // a thread parked in interrupt mode (TID)
+	ReRegPend                  // an in-flight connect awaiting KConnectRes (ConnID)
 )
 
 // String returns the kind's stable lower-case name.
@@ -106,8 +127,9 @@ const (
 	StatusNoRoute
 )
 
-// Size is the fixed encoded size of a Msg.
-const Size = 120
+// Size is the fixed encoded size of a Msg (124 bytes of payload padded to
+// the next 8-byte boundary so ring slots stay aligned).
+const Size = 128
 
 // Msg is the one-size-fits-all control message. Kind selects which fields
 // are meaningful; unused fields are zero.
@@ -132,6 +154,7 @@ type Msg struct {
 	SeqB       uint64 // connection repair: rcvNxt
 	Aux        uint64 // kind-specific extra
 	Host       [16]byte
+	Epoch      uint32 // monitor incarnation that stamped the message
 }
 
 // SetHost stores a host name (truncated to 16 bytes).
@@ -178,12 +201,20 @@ func (m *Msg) Marshal(out []byte) []byte {
 	le.PutUint64(out[88:], m.SeqB)
 	le.PutUint64(out[96:], m.Aux)
 	copy(out[104:120], m.Host[:])
+	le.PutUint32(out[120:], m.Epoch)
+	le.PutUint32(out[124:], 0) // pad
 	return out
 }
 
-// Unmarshal decodes from a buffer produced by Marshal.
+// Unmarshal decodes from a buffer produced by Marshal. Control queues are
+// written by untrusted processes (§3: the monitor trusts no application),
+// so a truncated buffer or an out-of-range kind is rejected rather than
+// handed to a dispatch switch.
 func Unmarshal(in []byte) (Msg, bool) {
 	if len(in) < Size {
+		return Msg{}, false
+	}
+	if in[0] == 0 || int(in[0]) >= NumKinds {
 		return Msg{}, false
 	}
 	le := binary.LittleEndian
@@ -208,5 +239,6 @@ func Unmarshal(in []byte) (Msg, bool) {
 	m.SeqB = le.Uint64(in[88:])
 	m.Aux = le.Uint64(in[96:])
 	copy(m.Host[:], in[104:120])
+	m.Epoch = le.Uint32(in[120:])
 	return m, true
 }

@@ -8,13 +8,15 @@ import (
 func TestMarshalRoundTrip(t *testing.T) {
 	check := func(kind, status, transport, dir uint8, port, sport uint16,
 		connID, qid, secret, tok, rk1, rk2, seqA, seqB, aux uint64,
-		pid, tid int64, qpn, rqpn uint32) bool {
+		pid, tid int64, qpn, rqpn, epoch uint32) bool {
 		m := Msg{
-			Kind: Kind(kind), Status: status, Transport: transport, Dir: dir,
+			// Unmarshal rejects out-of-range kinds; fold into the valid set.
+			Kind:   Kind(kind%uint8(NumKinds-1)) + 1,
+			Status: status, Transport: transport, Dir: dir,
 			Port: port, SrcPort: sport, ConnID: connID, QID: qid,
 			Secret: secret, PID: pid, TID: tid, ShmToken: tok,
 			QPN: qpn, RemoteQPN: rqpn, RingRKey: rk1, CreditRKey: rk2,
-			SeqA: seqA, SeqB: seqB, Aux: aux,
+			SeqA: seqA, SeqB: seqB, Aux: aux, Epoch: epoch,
 		}
 		m.SetHost("host-xy")
 		got, ok := Unmarshal(m.Marshal(nil))
@@ -22,6 +24,19 @@ func TestMarshalRoundTrip(t *testing.T) {
 	}
 	if err := quick.Check(check, nil); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestUnmarshalRejectsBadKind(t *testing.T) {
+	m := Msg{Kind: KConnect, ConnID: 9}
+	buf := m.Marshal(nil)
+	buf[0] = 0
+	if _, ok := Unmarshal(buf); ok {
+		t.Fatal("zero kind accepted")
+	}
+	buf[0] = byte(NumKinds)
+	if _, ok := Unmarshal(buf); ok {
+		t.Fatal("out-of-range kind accepted")
 	}
 }
 

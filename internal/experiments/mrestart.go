@@ -1,0 +1,334 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+
+	sd "socksdirect"
+	"socksdirect/internal/bufpool"
+	"socksdirect/internal/exec"
+	"socksdirect/internal/monitor"
+	"socksdirect/internal/telemetry"
+)
+
+// MRestart is the monitor-restart drill (restart survivability): a cluster
+// of streaming pairs — intra-host SHM and inter-host RDMA — keeps moving a
+// deterministic byte stream while each host's monitor daemon is stopped
+// and, after a real downtime window, restarted as a new incarnation. It
+// asserts the paper's control/data-plane split end to end:
+//
+//   - established connections are monitor-independent: every stream
+//     delivers its full byte-exact payload with zero resets, across both
+//     restarts (a receiver parked through the outage is re-woken by the
+//     new incarnation's re-registration sweep);
+//   - control-plane operations issued while a monitor is down are bounded:
+//     a dial observes ETIMEDOUT/EAGAIN within the libsd silence deadline —
+//     never a hang — and a retry succeeds once the successor answers;
+//   - the successor provably discards the dead incarnation's mail: requests
+//     written to the SHM control rings during the outage carry the old
+//     epoch and are dropped (sd/monitor/stale_dropped > 0);
+//   - state resurrection runs: every adopted process replays its bind
+//     table, sockets, tokens and sleep notes (sd/monitor/reregistrations
+//     counts one completed report per process);
+//   - nothing leaks: pooled buffers return to baseline and both successor
+//     monitors pass CrashConverged.
+//
+// Monitor A restarts first (stop 20 ms, restart 50 ms), then monitor B
+// (stop 80 ms, restart 110 ms), so every stream spans both outages and
+// each host exercises both the "my monitor died" and the "my peer's
+// monitor died" sides.
+
+// MRestartResult is the outcome of one monitor-restart drill.
+type MRestartResult struct {
+	IntraPairs, InterPairs int
+	Restarts               int // monitor incarnations replaced (scheduled)
+	RunNs                  int64
+
+	Delivered    int64 // bytes verified byte-exact by stream receivers
+	PrefixErrors int   // receivers whose stream mismatched the expected bytes
+	StreamErrors int   // stream ops that returned any error (resets included)
+	Unfinished   int   // streams that did not deliver their full payload
+
+	ProbeTimeouts int   // downtime dials that returned ETIMEDOUT/EAGAIN
+	ProbeHangs    int   // downtime dials that blocked past the latency bound
+	ProbeOK       int   // probers whose retry connected and echoed end to end
+	WorstDialNs   int64 // slowest single dial attempt (virtual)
+
+	RestartsSeen int64  // sd/monitor/restarts
+	StaleDropped int64  // sd/monitor/stale_dropped
+	ReRegs       int64  // sd/monitor/reregistrations
+	PoolLeak     int64  // bufpool.Outstanding delta across the run
+	Converge     string // CrashConverged error from either successor, "" if ok
+}
+
+// Passed reports whether the drill met the acceptance bar.
+func (r MRestartResult) Passed() bool {
+	return r.PrefixErrors == 0 && r.StreamErrors == 0 && r.Unfinished == 0 &&
+		r.ProbeTimeouts >= 1 && r.ProbeHangs == 0 && r.ProbeOK == 2 &&
+		r.RestartsSeen >= int64(r.Restarts) &&
+		r.StaleDropped > 0 && r.ReRegs > 0 &&
+		r.PoolLeak == 0 && r.Converge == ""
+}
+
+func (r MRestartResult) String() string {
+	verdict := "PASS"
+	if !r.Passed() {
+		verdict = "FAIL"
+	}
+	conv := r.Converge
+	if conv == "" {
+		conv = "converged"
+	}
+	return fmt.Sprintf(
+		"mrestart: %d intra + %d inter pairs across %d monitor restarts, %.2fs virtual\n"+
+			"  streams: %d bytes exact, %d prefix errors, %d stream errors, %d unfinished\n"+
+			"  downtime dials: %d timed out bounded, %d hung, %d/2 probers recovered (worst %.2fms)\n"+
+			"  restarts=%d stale_dropped=%d reregistrations=%d pool leak=%d, monitors: %s\n"+
+			"  %s",
+		r.IntraPairs, r.InterPairs, r.Restarts, float64(r.RunNs)/1e9,
+		r.Delivered, r.PrefixErrors, r.StreamErrors, r.Unfinished,
+		r.ProbeTimeouts, r.ProbeHangs, r.ProbeOK, float64(r.WorstDialNs)/1e6,
+		r.RestartsSeen, r.StaleDropped, r.ReRegs, r.PoolLeak, conv, verdict)
+}
+
+const (
+	mrPace     = 1_000_000 // 1 ms between stream chunks: spans both outages
+	mrStopA    = 20_000_000
+	mrRestartA = 50_000_000
+	mrStopB    = 80_000_000
+	mrRestartB = 110_000_000
+	// A dial against a dead monitor must resolve within the libsd silence
+	// deadline (10 ms) plus polling slack; anything slower counts as a hang.
+	mrDialBound = 20_000_000
+)
+
+// MRestart runs the drill: intraPairs SHM pairs on hostA, interPairs RDMA
+// pairs hostA->hostB, each streaming chunks*chunk bytes, while both hosts'
+// monitors restart mid-flight.
+func MRestart(intraPairs, interPairs, chunk, chunks int) MRestartResult {
+	w := newWorld()
+	res := MRestartResult{IntraPairs: intraPairs, InterPairs: interPairs, Restarts: 2}
+	poolBefore := bufpool.Outstanding()
+	before := telemetry.Capture()
+
+	streams := make([]*mrStream, 0, intraPairs+interPairs)
+	for i := 0; i < intraPairs; i++ {
+		streams = append(streams, mrPair(w, 7600+uint16(i), true, chunk, chunks))
+	}
+	for i := 0; i < interPairs; i++ {
+		streams = append(streams, mrPair(w, 7700+uint16(i), false, chunk, chunks))
+	}
+
+	// Echo services the downtime probers dial into (one per host, so each
+	// prober's connect crosses its own — dead — monitor first).
+	mrEchoServer(w, w.ha, 7610)
+	mrEchoServer(w, w.hb, 7710)
+	proberA := mrProber(w, w.ha, "hostB", 7710, mrStopA+5_000_000)
+	proberB := mrProber(w, w.hb, "hostA", 7610, mrStopB+5_000_000)
+
+	// The restart schedule. Stop and Restart are split so there is a real
+	// downtime window: requests issued in between land in SHM control rings
+	// nobody drains, stamped with the dead incarnation's epoch.
+	var monA2, monB2 *monitor.Monitor
+	w.sim.Spawn("restart-ctl", func(ctx exec.Context) {
+		ctx.Sleep(mrStopA)
+		w.ma.Stop()
+		ctx.Sleep(mrRestartA - mrStopA)
+		monA2 = monitor.Restart(w.a)
+		ctx.Sleep(mrStopB - mrRestartA)
+		w.mb.Stop()
+		ctx.Sleep(mrRestartB - mrStopB)
+		monB2 = monitor.Restart(w.b)
+	})
+
+	res.RunNs = w.sim.Run()
+
+	for _, s := range streams {
+		res.Delivered += s.delivered
+		if s.prefixBad {
+			res.PrefixErrors++
+		}
+		if s.opErrors > 0 {
+			res.StreamErrors += s.opErrors
+		}
+		if !s.done {
+			res.Unfinished++
+		}
+	}
+	for _, p := range []*mrProbe{proberA, proberB} {
+		res.ProbeTimeouts += p.timeouts
+		res.ProbeHangs += p.hangs
+		if p.echoed {
+			res.ProbeOK++
+		}
+		if p.worstNs > res.WorstDialNs {
+			res.WorstDialNs = p.worstNs
+		}
+	}
+	d := telemetry.Capture().Diff(before)
+	res.RestartsSeen = d[telemetry.MonRestarts]
+	res.StaleDropped = d[telemetry.MonStaleDropped]
+	res.ReRegs = d[telemetry.MonReregistrations]
+	res.PoolLeak = bufpool.Outstanding() - poolBefore
+	switch {
+	case monA2 == nil || monB2 == nil:
+		res.Converge = "restart controller never ran"
+	default:
+		if err := monA2.CrashConverged(); err != nil {
+			res.Converge = err.Error()
+		} else if err := monB2.CrashConverged(); err != nil {
+			res.Converge = err.Error()
+		}
+	}
+	return res
+}
+
+// mrStream is what one streaming pair's receiver observed.
+type mrStream struct {
+	delivered int64
+	prefixBad bool
+	opErrors  int
+	done      bool // full payload delivered and verified
+}
+
+// mrPair wires one paced streaming pair that spans the whole drill. Both
+// connect before the first restart; from then on only the data plane is
+// exercised — any error (a reset above all) is a drill failure.
+func mrPair(w *world, port uint16, intra bool, chunk, chunks int) *mrStream {
+	srvHost := w.hb
+	srvName := "hostB"
+	if intra {
+		srvHost = w.ha
+		srvName = "hostA"
+	}
+	sp := srvHost.NewProcess(fmt.Sprintf("mr-srv%d", port), 0)
+	cp := w.ha.NewProcess(fmt.Sprintf("mr-cli%d", port), 0)
+	seed := uint64(port)*0x9E3779B97F4A7C15 + 7
+	s := &mrStream{}
+	total := int64(chunk) * int64(chunks)
+
+	sp.Go("srv", func(t *sd.T) {
+		ln, err := t.Listen(port)
+		if err != nil {
+			s.opErrors++
+			return
+		}
+		c, err := ln.Accept()
+		if err != nil {
+			s.opErrors++
+			return
+		}
+		want := make([]byte, chunk)
+		buf := make([]byte, chunk)
+		wantRand := seed
+		rem := 0
+		for s.delivered < total {
+			n, err := c.Recv(buf)
+			if err != nil {
+				s.opErrors++
+				return
+			}
+			for i := 0; i < n; i++ {
+				if rem == 0 {
+					xorshiftFill(want, &wantRand)
+					rem = chunk
+				}
+				if buf[i] != want[chunk-rem] {
+					s.prefixBad = true
+				}
+				rem--
+				s.delivered++
+			}
+		}
+		s.done = true
+	})
+	cp.Go("cli", func(t *sd.T) {
+		t.Sleep(10_000)
+		c, err := t.Dial(srvName, port)
+		if err != nil {
+			s.opErrors++
+			return
+		}
+		out := make([]byte, chunk)
+		txRand := seed
+		for i := 0; i < chunks; i++ {
+			xorshiftFill(out, &txRand)
+			if _, err := c.Send(out); err != nil {
+				s.opErrors++
+				return
+			}
+			t.Sleep(mrPace)
+		}
+	})
+	return s
+}
+
+// mrEchoServer accepts connections on h:port forever and echoes one byte
+// per connection — the far end of the downtime probers.
+func mrEchoServer(w *world, h *sd.Host, port uint16) {
+	p := h.NewProcess(fmt.Sprintf("mr-echo%d", port), 0)
+	p.Go("echo", func(t *sd.T) {
+		ln, err := t.Listen(port)
+		if err != nil {
+			return
+		}
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			b := make([]byte, 1)
+			if n, err := c.Recv(b); err == nil {
+				c.Send(b[:n])
+			}
+		}
+	})
+}
+
+// mrProbe is what one downtime prober observed.
+type mrProbe struct {
+	timeouts int   // attempts that returned ETIMEDOUT/EAGAIN
+	hangs    int   // attempts that blocked longer than mrDialBound
+	badErrs  int   // attempts that failed with the wrong error
+	echoed   bool  // a retry eventually connected and completed an echo
+	worstNs  int64 // slowest single attempt
+}
+
+// mrProber dials dst:port from a process on h, starting at startAt — inside
+// h's monitor downtime window — and retries until a dial succeeds. Each
+// failed attempt must be the bounded kind: ErrMonitorDown (ETIMEDOUT or
+// EAGAIN) within mrDialBound.
+func mrProber(w *world, h *sd.Host, dst string, port uint16, startAt int64) *mrProbe {
+	pr := &mrProbe{}
+	p := h.NewProcess(fmt.Sprintf("mr-probe%d", port), 0)
+	p.Go("probe", func(t *sd.T) {
+		t.Sleep(startAt)
+		for attempt := 0; attempt < 100; attempt++ {
+			began := t.Now()
+			c, err := t.Dial(dst, port)
+			took := t.Now() - began
+			if took > pr.worstNs {
+				pr.worstNs = took
+			}
+			if err == nil {
+				b := []byte{0x5a}
+				if _, err := c.Send(b); err == nil {
+					if n, err := c.Recv(b); err == nil && n == 1 && b[0] == 0x5a {
+						pr.echoed = true
+					}
+				}
+				return
+			}
+			if took > mrDialBound {
+				pr.hangs++
+			}
+			if errors.Is(err, sd.ErrMonitorDown) {
+				pr.timeouts++
+			} else {
+				pr.badErrs++
+			}
+			t.Sleep(2_000_000)
+		}
+	})
+	return pr
+}

@@ -210,6 +210,20 @@ func (p *Process) ThreadByTID(tid int) *Thread {
 	return nil
 }
 
+// EachThread calls fn for every thread of the process (over a snapshot,
+// so fn may spawn or wake threads). The monitor's restart resurrection
+// uses it to give every thread one spurious wake: a receiver parked
+// across a monitor outage may have missed the doorbell that died with
+// the old incarnation.
+func (p *Process) EachThread(fn func(*Thread)) {
+	p.mu.Lock()
+	threads := append([]*Thread(nil), p.threads...)
+	p.mu.Unlock()
+	for _, t := range threads {
+		fn(t)
+	}
+}
+
 // RegisterHandler installs a signal handler (libsd registers one at init,
 // §4.4 challenge 2).
 func (p *Process) RegisterHandler(s Signal, fn func(Signal)) {

@@ -1,0 +1,238 @@
+package monitor
+
+import (
+	"sort"
+
+	"socksdirect/internal/ctlmsg"
+	"socksdirect/internal/exec"
+	"socksdirect/internal/telemetry"
+)
+
+// Inter-host monitor liveness (§4.5.4's failure matrix, host row). Each
+// monitor beacons KMHeartbeat over its monitor channels while its own
+// control plane is active; a peer that stays silent across enough ticks is
+// first suspected and eventually confirmed dead, at which point every local
+// socket toward that host gets a KPeerDead — exactly the fan-out the remote
+// monitor would have produced for each of its processes, had it survived to
+// report them.
+//
+// Ticking is traffic-gated: hbQuietAfter after the last real (non-
+// heartbeat) control message the monitor stops beaconing, so an idle pair
+// of monitors does not keep each other — and the simulation — alive
+// forever. A quiet monitor still answers beacons (echo, rate-limited to
+// one per hbInterval per peer), so one-sided activity cannot starve the
+// active side into a false host-death verdict.
+const (
+	hbInterval    = 2_000_000  // 2 ms between beacons
+	hbSuspectMiss = 5          // consecutive silent ticks -> suspect (counter only)
+	hbConfirmMiss = 1500       // consecutive silent ticks -> host confirmed dead (3 s)
+	hbQuietAfter  = 60_000_000 // stop beaconing 60 ms after the last real traffic
+)
+
+// noteRemote books any receipt on a monitor channel into the liveness and
+// epoch state. It returns false when the message was stamped by an older
+// incarnation of the peer's monitor than one we have already heard —
+// stale control traffic that may describe state the restart invalidated,
+// so the caller drops it.
+func (m *Monitor) noteRemote(mc *mchan, cm *ctlmsg.Msg) bool {
+	now := m.H.Clk.Now()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.hbPeers[mc.peer] = struct{}{}
+	m.hbLastHeard[mc.peer] = now
+	m.hbMissed[mc.peer] = 0
+	m.hbSuspected[mc.peer] = false
+	// Hearing from a confirmed-dead host means its monitor is back (a
+	// restarted incarnation); allow a future confirm episode again.
+	delete(m.hbDead, mc.peer)
+	if cm.Epoch != 0 {
+		if cm.Epoch < m.peerEpochs[mc.peer] {
+			return false
+		}
+		m.peerEpochs[mc.peer] = cm.Epoch
+	}
+	return true
+}
+
+// notePeerEpoch records the epoch a probe handshake advertised (SYN /
+// SYN-ACK options carry the sender's incarnation) and refreshes the peer's
+// liveness clock — a completed handshake is proof of life.
+func (m *Monitor) notePeerEpoch(peer string, epoch uint32) {
+	now := m.H.Clk.Now()
+	m.mu.Lock()
+	m.hbPeers[peer] = struct{}{}
+	m.hbLastHeard[peer] = now
+	m.hbMissed[peer] = 0
+	m.hbSuspected[peer] = false
+	delete(m.hbDead, peer)
+	if epoch > m.peerEpochs[peer] {
+		m.peerEpochs[peer] = epoch
+	}
+	m.mu.Unlock()
+}
+
+// tickHeartbeats runs once per daemon-loop iteration: at most every
+// hbInterval (and only while the control plane saw real traffic within
+// hbQuietAfter) it counts a silent tick against every peer and sends the
+// next beacon. A long gap between ticks — the daemon was parked, or the
+// quiet gate was closed — is a pause in our own observation, not evidence
+// about the peer, so miss counters restart from zero.
+func (m *Monitor) tickHeartbeats(ctx exec.Context) {
+	now := ctx.Now()
+	m.mu.Lock()
+	if m.stopped || len(m.hbPeers) == 0 ||
+		now-m.lastActivity > hbQuietAfter ||
+		(m.hbLastTick != 0 && now-m.hbLastTick < hbInterval) {
+		m.mu.Unlock()
+		return
+	}
+	paused := m.hbLastTick == 0 || now-m.hbLastTick > 4*hbInterval
+	prevTick := m.hbLastTick
+	m.hbLastTick = now
+	// Tracked peers, not live channels: a dead host eventually errors the
+	// channel's QP (RNR retry exhaustion) and the heal path removes it from
+	// mchans — liveness accounting must keep counting silence past that, or
+	// the peers that most need confirming would be the ones that escape it.
+	peers := make([]string, 0, len(m.hbPeers))
+	for p := range m.hbPeers {
+		peers = append(peers, p)
+	}
+	sort.Strings(peers) // deterministic event order across map iterations
+	var confirm []string
+	beacon := peers[:0:0]
+	for _, p := range peers {
+		if m.hbDead[p] {
+			continue
+		}
+		if paused {
+			m.hbMissed[p] = 0
+		} else if m.hbLastHeard[p] < prevTick {
+			m.hbMissed[p]++
+			mHBMissed.Inc()
+			if m.hbMissed[p] == hbSuspectMiss && !m.hbSuspected[p] {
+				m.hbSuspected[p] = true
+				mHBSuspects.Inc()
+				if telemetry.Trace.Enabled() {
+					telemetry.Trace.Emit(now, "monitor", "hb_suspect",
+						telemetry.A("missed", int64(m.hbMissed[p])))
+				}
+			}
+			if m.hbMissed[p] >= hbConfirmMiss {
+				confirm = append(confirm, p)
+				continue
+			}
+		}
+		beacon = append(beacon, p)
+	}
+	m.mu.Unlock()
+	for _, p := range beacon {
+		m.hbSend(ctx, p)
+	}
+	for _, p := range confirm {
+		m.hostDead(ctx, p)
+	}
+}
+
+// hbSend ships one liveness beacon toward peer. It goes through mchanSend
+// un-queued: if the channel's QP died, the beacon is dropped but the heal
+// probe it launches is itself the liveness check — a live peer answers the
+// probe, a dead one times out and the silence keeps counting.
+func (m *Monitor) hbSend(ctx exec.Context, peer string) {
+	m.mu.Lock()
+	m.hbLastSent[peer] = ctx.Now()
+	m.mu.Unlock()
+	hb := ctlmsg.Msg{Kind: ctlmsg.KMHeartbeat}
+	hb.SetHost(m.H.Name)
+	mHBSent.Inc()
+	m.mchanSend(ctx, peer, &hb, false)
+}
+
+// hbEcho answers an incoming beacon so a quiet monitor (one that initiates
+// no beacons of its own) still proves liveness to an active peer. The
+// per-peer rate limit keeps two monitors from ping-ponging echoes forever:
+// an echo is only sent if we have not beaconed this peer within hbInterval,
+// so echo traffic is bounded by the initiator's own tick rate and stops
+// the moment the initiator goes quiet.
+func (m *Monitor) hbEcho(ctx exec.Context, peer string) {
+	now := ctx.Now()
+	m.mu.Lock()
+	due := now-m.hbLastSent[peer] >= hbInterval || m.hbLastSent[peer] == 0
+	m.mu.Unlock()
+	if due {
+		m.hbSend(ctx, peer)
+	}
+}
+
+// armHeartbeat schedules a clock wake so a parked daemon keeps ticking
+// while the quiet window is open (without it, a parked monitor would never
+// notice a silent peer — parking would mask the very failure heartbeats
+// exist to detect).
+func (m *Monitor) armHeartbeat(ctx exec.Context) {
+	now := ctx.Now()
+	m.mu.Lock()
+	need := !m.stopped && !m.hbArmed && len(m.hbPeers) > 0 &&
+		now-m.lastActivity <= hbQuietAfter
+	if need {
+		m.hbArmed = true
+	}
+	m.mu.Unlock()
+	if !need {
+		return
+	}
+	m.H.Clk.After(hbInterval, func() {
+		m.mu.Lock()
+		m.hbArmed = false
+		stopped := m.stopped
+		m.mu.Unlock()
+		if !stopped {
+			m.wake()
+		}
+	})
+}
+
+// hostDead is the confirm action: the remote host (or at least its entire
+// SocksDirect control plane) is gone, so every local socket toward it is
+// reset via KPeerDead — the same message the peer monitor would have sent
+// per crashed process — and the channel is dropped. The hbDead latch keeps
+// a single failure from fanning out more than once; it clears when the
+// host is heard from again.
+func (m *Monitor) hostDead(ctx exec.Context, peer string) {
+	type note struct {
+		qid   uint64
+		owner int
+	}
+	m.mu.Lock()
+	if m.hbDead[peer] {
+		m.mu.Unlock()
+		return
+	}
+	m.hbDead[peer] = true
+	delete(m.hbPeers, peer)
+	delete(m.mchans, peer)
+	var notes []note
+	for qid, c := range m.conns {
+		if c.peerHost != peer {
+			continue
+		}
+		owner := m.connOwner[qid]
+		delete(m.conns, qid)
+		delete(m.connOwner, qid)
+		delete(m.remotePend, qid)
+		if owner != 0 {
+			notes = append(notes, note{qid: qid, owner: owner})
+		}
+	}
+	m.mu.Unlock()
+	sort.Slice(notes, func(i, j int) bool { return notes[i].qid < notes[j].qid })
+	mHostDeadFanouts.Inc()
+	if telemetry.Trace.Enabled() {
+		telemetry.Trace.Emit(ctx.Now(), "monitor", "host_dead",
+			telemetry.A("conns_reset", int64(len(notes))))
+	}
+	for _, n := range notes {
+		pd := ctlmsg.Msg{Kind: ctlmsg.KPeerDead, QID: n.qid}
+		pd.SetHost(peer)
+		m.sendTo(ctx, n.owner, &pd, true)
+		m.wakeSleepers(n.owner)
+	}
+}

@@ -130,9 +130,11 @@ func Peer(a, b *Monitor) {
 	}
 	a.mu.Lock()
 	a.mchans[b.H.Name] = mca
+	a.hbPeers[b.H.Name] = struct{}{}
 	a.mu.Unlock()
 	b.mu.Lock()
 	b.mchans[a.H.Name] = mcb
+	b.hbPeers[a.H.Name] = struct{}{}
 	b.mu.Unlock()
 	a.wake()
 	b.wake()

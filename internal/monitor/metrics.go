@@ -18,6 +18,17 @@ var (
 	mRescues       = telemetry.C(telemetry.MonRescues)
 	mCrashCleanups = telemetry.C(telemetry.MonCrashCleanups)
 
+	// Restart survivability (epochs, resurrection, inter-host liveness).
+	mEpoch           = telemetry.G(telemetry.MonEpoch)
+	mRestarts        = telemetry.C(telemetry.MonRestarts)
+	mStaleDropped    = telemetry.C(telemetry.MonStaleDropped)
+	mRereg           = telemetry.C(telemetry.MonReregistrations)
+	mBadCtlmsg       = telemetry.C(telemetry.MonBadCtlmsg)
+	mHBSent          = telemetry.C(telemetry.MonHBSent)
+	mHBMissed        = telemetry.C(telemetry.MonHBMissed)
+	mHBSuspects      = telemetry.C(telemetry.MonHBSuspects)
+	mHostDeadFanouts = telemetry.C(telemetry.MonHostDeadFanouts)
+
 	// mCtlByKind indexes a per-kind counter by ctlmsg.Kind, so counting a
 	// control message is two atomic adds and no map lookup.
 	mCtlByKind = func() [ctlmsg.NumKinds]*telemetry.Counter {

@@ -64,6 +64,24 @@ type Monitor struct {
 	deaths     []int                    // pids awaiting crash cleanup (lifeline queue)
 	deadPIDs   map[int]struct{}         // pids already cleaned up (idempotence)
 
+	// Restart survivability: each incarnation carries a monotonically
+	// increasing epoch; messages stamped by a previous incarnation are
+	// stale and dropped (they may describe state the restart invalidated).
+	epoch      uint32
+	needReReg  []int             // pids owed a KReRegister after a restart
+	peerEpochs map[string]uint32 // remote host -> highest epoch seen
+
+	// Inter-host liveness: heartbeat bookkeeping per monitor channel.
+	hbPeers      map[string]struct{} // hosts under liveness watch (outlives the channel)
+	hbLastHeard  map[string]int64    // remote host -> virtual time of last receipt
+	hbMissed     map[string]int      // consecutive ticks without a receipt
+	hbSuspected  map[string]bool     // crossed the suspect threshold this episode
+	hbDead       map[string]bool     // confirmed dead; no re-fan until heard again
+	hbLastSent   map[string]int64    // remote host -> virtual time of last beacon/echo
+	hbLastTick   int64
+	hbArmed      bool  // a clock-driven tick wake is pending
+	lastActivity int64 // last real (non-heartbeat) control-plane traffic
+
 	thread  exec.Thread
 	parked  bool
 	stopped bool
@@ -119,34 +137,55 @@ type stealReq struct {
 // Start creates the monitor, attaches it to the host, and spawns the
 // daemon thread. ks enables the TCP fallback and dual kernel listeners.
 func Start(h *host.Host, ks *ksocket.Stack) *Monitor {
+	return startEpoch(h, ks, 1)
+}
+
+// startEpoch is Start with an explicit incarnation number; Restart uses it
+// to bring up incarnation N+1 over the previous one's process links.
+func startEpoch(h *host.Host, ks *ksocket.Stack, epoch uint32) *Monitor {
 	m := &Monitor{
-		H:          h,
-		KS:         ks,
-		procs:      make(map[int]*procChan),
-		listeners:  make(map[uint16][]listenerRef),
-		rrIdx:      make(map[uint16]int),
-		kernLs:     make(map[uint16]*ksocket.Listener),
-		policy:     func(int, string, uint16) bool { return true },
-		secrets:    make(map[uint64]int),
-		tokens:     make(map[tokKey]*tokState),
-		connOwner:  make(map[uint64]int),
-		remotePend: make(map[uint64]remotePendEntry),
-		mchans:     make(map[string]*mchan),
-		probes:     make(map[string][]*ctlmsg.Msg),
-		probing:    make(map[string]bool),
-		mqueue:     make(map[string][]*ctlmsg.Msg),
-		steals:     make(map[uint64]stealReq),
-		reqpRoute:  make(map[uint64]string),
-		sleepers:   make(map[int]map[int]struct{}),
-		conns:      make(map[uint64]*connRec),
-		deadPIDs:   make(map[int]struct{}),
-		probeSeq:   9000,
+		H:           h,
+		KS:          ks,
+		epoch:       epoch,
+		procs:       make(map[int]*procChan),
+		listeners:   make(map[uint16][]listenerRef),
+		rrIdx:       make(map[uint16]int),
+		kernLs:      make(map[uint16]*ksocket.Listener),
+		policy:      func(int, string, uint16) bool { return true },
+		secrets:     make(map[uint64]int),
+		tokens:      make(map[tokKey]*tokState),
+		connOwner:   make(map[uint64]int),
+		remotePend:  make(map[uint64]remotePendEntry),
+		mchans:      make(map[string]*mchan),
+		probes:      make(map[string][]*ctlmsg.Msg),
+		probing:     make(map[string]bool),
+		mqueue:      make(map[string][]*ctlmsg.Msg),
+		steals:      make(map[uint64]stealReq),
+		reqpRoute:   make(map[uint64]string),
+		sleepers:    make(map[int]map[int]struct{}),
+		conns:       make(map[uint64]*connRec),
+		deadPIDs:    make(map[int]struct{}),
+		peerEpochs:  make(map[string]uint32),
+		hbPeers:     make(map[string]struct{}),
+		hbLastHeard: make(map[string]int64),
+		hbMissed:    make(map[string]int),
+		hbSuspected: make(map[string]bool),
+		hbDead:      make(map[string]bool),
+		hbLastSent:  make(map[string]int64),
+		probeSeq:    9000,
 	}
 	h.Mon = m
+	mEpoch.Set(int64(epoch))
 	// Per-process lifeline: the kernel teardown reports every death; the
-	// daemon runs the actual reclamation on its own thread.
+	// daemon runs the actual reclamation on its own thread. The stopped
+	// guard keeps a dead incarnation's hook (they accumulate across
+	// restarts) from double-queueing deaths the live one already owns.
 	h.OnProcessDeath(func(pid int) {
 		m.mu.Lock()
+		if m.stopped {
+			m.mu.Unlock()
+			return
+		}
 		m.deaths = append(m.deaths, pid)
 		m.mu.Unlock()
 		m.wake()
@@ -171,13 +210,43 @@ func (m *Monitor) SetPolicy(p Policy) {
 	m.mu.Unlock()
 }
 
-// Stop terminates the daemon loop.
+// Stop terminates the daemon loop. It is idempotent (a second Stop is a
+// no-op) and draining: kernel listeners and the rescue listener are closed
+// so the ports are free for a successor incarnation, and every thread that
+// parked itself against this monitor (KSleepNote) is woken once — a parked
+// sleeper whose only doorbell was this daemon must not leak.
 func (m *Monitor) Stop() {
 	m.mu.Lock()
+	if m.stopped {
+		m.mu.Unlock()
+		return
+	}
 	m.stopped = true
+	kls := make([]*ksocket.Listener, 0, len(m.kernLs)+1)
+	for _, kl := range m.kernLs {
+		kls = append(kls, kl)
+	}
+	m.kernLs = make(map[uint16]*ksocket.Listener)
+	if m.rescueL != nil {
+		kls = append(kls, m.rescueL)
+		m.rescueL = nil
+	}
+	asleep := m.sleepers
+	m.sleepers = make(map[int]map[int]struct{})
 	m.mu.Unlock()
+	for _, kl := range kls {
+		kl.Close()
+	}
+	for pid, tids := range asleep {
+		for tid := range tids {
+			m.wakeThread(pid, tid)
+		}
+	}
 	m.wake()
 }
+
+// Epoch returns this incarnation's number (immutable once started).
+func (m *Monitor) Epoch() uint32 { return m.epoch }
 
 func (m *Monitor) wake() {
 	if m.thread != nil {
@@ -194,7 +263,15 @@ func (m *Monitor) RegisterProcess(p *host.Process) *core.ProcLink {
 	m.procs[p.PID] = &procChan{p: p, d: d}
 	m.mu.Unlock()
 	m.wake()
-	return &core.ProcLink{D: d, WakeMonitor: m.wake, MonitorHost: m.H.Name}
+	// The doorbell resolves through h.Mon at ring time, not through this
+	// incarnation: after a restart the successor adopts the duplex, and the
+	// process's nudges must reach the live daemon, not the dead one.
+	h := m.H
+	return &core.ProcLink{D: d, WakeMonitor: func() {
+		if cur, ok := h.Mon.(*Monitor); ok {
+			cur.wake()
+		}
+	}, MonitorHost: m.H.Name, Epoch: m.epoch}
 }
 
 // RegisterChild pairs a forked child using the secret its parent deposited
@@ -215,38 +292,52 @@ func (m *Monitor) RegisterChild(p *host.Process, secret uint64) *core.ProcLink {
 // run is the daemon loop.
 func (m *Monitor) run(ctx exec.Context) {
 	idle := 0
-	var buf [ctlmsg.Size]byte
-	_ = buf
+	// Snapshot scratch, reused across iterations: the daemon spins hot
+	// between parks, and per-iteration slice churn would dominate the
+	// process's allocation profile.
+	var chans []*procChan
+	var mchs []*mchan
+	var kls []*ksocket.Listener
+	var klPorts []uint16
 	for {
 		m.mu.Lock()
 		if m.stopped {
 			m.mu.Unlock()
 			return
 		}
-		chans := make([]*procChan, 0, len(m.procs))
+		chans = chans[:0]
 		for _, pc := range m.procs {
 			chans = append(chans, pc)
 		}
-		mchs := make([]*mchan, 0, len(m.mchans))
+		mchs = mchs[:0]
 		for _, mc := range m.mchans {
 			mchs = append(mchs, mc)
 		}
-		kls := make([]*ksocket.Listener, 0, len(m.kernLs))
-		klPorts := make([]uint16, 0, len(m.kernLs))
+		kls, klPorts = kls[:0], klPorts[:0]
 		for port, kl := range m.kernLs {
 			kls = append(kls, kl)
 			klPorts = append(klPorts, port)
 		}
 		m.mu.Unlock()
 
-		progress := false
+		// progress: anything consumed this iteration (keep spinning).
+		// real: non-heartbeat traffic — heartbeat receipts alone must not
+		// count as activity, or two idle peered monitors would keep each
+		// other's beacons alive forever and the run would never quiesce.
+		progress, real := false, false
 		m.mu.Lock()
 		deaths := m.deaths
 		m.deaths = nil
+		rereg := m.needReReg
+		m.needReReg = nil
 		m.mu.Unlock()
 		for _, pid := range deaths {
 			m.cleanupProcess(ctx, pid)
-			progress = true
+			progress, real = true, true
+		}
+		for _, pid := range rereg {
+			m.reRegister(ctx, pid)
+			progress, real = true, true
 		}
 		m.mu.Lock()
 		probes := m.probeDone
@@ -254,7 +345,7 @@ func (m *Monitor) run(ctx exec.Context) {
 		m.mu.Unlock()
 		for _, pr := range probes {
 			m.finishProbes(ctx, pr.dst, pr)
-			progress = true
+			progress, real = true, true
 		}
 		for _, pc := range chans {
 			for i := 0; i < 64; i++ {
@@ -263,10 +354,20 @@ func (m *Monitor) run(ctx exec.Context) {
 					break
 				}
 				ctx.Charge(m.H.Costs.RingOp)
-				if cm, ok2 := ctlmsg.Unmarshal(msg.Payload); ok2 {
-					m.handle(ctx, pc, &cm)
+				progress, real = true, true
+				cm, ok2 := ctlmsg.Unmarshal(msg.Payload)
+				if !ok2 {
+					mBadCtlmsg.Inc()
+					continue
 				}
-				progress = true
+				if cm.Epoch != m.epoch {
+					// Stamped against a previous incarnation: whatever it
+					// asked for, it asked a daemon that no longer exists;
+					// the sender re-stamps and re-sends on its bounded wait.
+					mStaleDropped.Inc()
+					continue
+				}
+				m.handle(ctx, pc, &cm)
 			}
 		}
 		for _, mc := range mchs {
@@ -276,25 +377,43 @@ func (m *Monitor) run(ctx exec.Context) {
 					break
 				}
 				ctx.Charge(m.H.Costs.RDMAPost)
-				m.handleRemote(ctx, mc, cm)
 				progress = true
+				if cm.Kind != ctlmsg.KMHeartbeat {
+					real = true
+				}
+				if !m.noteRemote(mc, cm) {
+					mStaleDropped.Inc()
+					continue
+				}
+				m.handleRemote(ctx, mc, cm)
 			}
 		}
 		for i, kl := range kls {
 			if kl.PendingHint() > 0 {
 				m.acceptFallback(ctx, klPorts[i], kl)
-				progress = true
+				progress, real = true, true
 			}
 		}
 		if m.rescueL != nil && m.rescueL.PendingHint() > 0 {
 			m.acceptRescue(ctx)
-			progress = true
+			progress, real = true, true
 		}
+		if real {
+			m.mu.Lock()
+			m.lastActivity = ctx.Now()
+			m.mu.Unlock()
+		}
+		m.tickHeartbeats(ctx)
 
-		if progress {
+		if progress && real {
 			idle = 0
 			continue
 		}
+		// Heartbeat-only progress lands here too: liveness is booked and
+		// the mchan drain loop already emptied the channel, so a beacon
+		// does not earn the hot-spin window real traffic gets — otherwise
+		// every 2 ms tick would burn a full spin budget on both monitors
+		// for the whole quiet window.
 		idle++
 		if idle < 256 {
 			ctx.Charge(m.H.Costs.RingOp)
@@ -304,8 +423,13 @@ func (m *Monitor) run(ctx exec.Context) {
 		for _, mc := range mchs {
 			mc.armWake(m.wake) // fire immediately if traffic raced in
 		}
-		ctx.Park() // woken by wakeMon / mchan arrivals / notifications
-		idle = 0
+		m.armHeartbeat(ctx)
+		ctx.Park() // woken by wakeMon / mchan arrivals / notifications / hb timer
+		// Resume one step short of re-parking: the wake's cargo is drained
+		// in the next iteration, and only *real* traffic (idle = 0 above)
+		// buys back the hot-spin window. A timer or beacon wake re-parks
+		// after a single pass instead of 256 idle spins.
+		idle = 255
 	}
 }
 
@@ -319,6 +443,7 @@ func (m *Monitor) sendTo(ctx exec.Context, pid int, cm *ctlmsg.Msg, signal bool)
 	if pc == nil {
 		return
 	}
+	cm.Epoch = m.epoch // everything we say is stamped with our incarnation
 	var buf [ctlmsg.Size]byte
 	b := cm.Marshal(buf[:])
 	for !pc.d.B().TX.TrySend(0, 0, b) {
@@ -564,6 +689,13 @@ func (m *Monitor) handle(ctx exec.Context, pc *procChan, cm *ctlmsg.Msg) {
 		}
 		ts[int(cm.TID)] = struct{}{}
 		m.mu.Unlock()
+	case ctlmsg.KPing:
+		// Liveness probe from a bounded control-plane wait: any answer —
+		// stamped with the current epoch — proves the daemon is alive.
+		pong := ctlmsg.Msg{Kind: ctlmsg.KPong, PID: cm.PID}
+		m.sendTo(ctx, int(cm.PID), &pong, false)
+	case ctlmsg.KReRegistered:
+		m.onReRegistered(ctx, pc, cm)
 	case ctlmsg.KDegrade:
 		m.onDegrade(ctx, pc, cm)
 	case ctlmsg.KAcceptHint:
@@ -602,6 +734,7 @@ func (m *Monitor) handle(ctx exec.Context, pc *procChan, cm *ctlmsg.Msg) {
 // for messages the far end regenerates on retry — but a heal probe is
 // still launched so the retry finds a working channel.
 func (m *Monitor) mchanSend(ctx exec.Context, dst string, cm *ctlmsg.Msg, queue bool) {
+	cm.Epoch = m.epoch
 	m.mu.Lock()
 	mc := m.mchans[dst]
 	if mc != nil && mc.qp.State() == rdma.QPErr {
@@ -650,9 +783,17 @@ func (m *Monitor) handleRemote(ctx exec.Context, mc *mchan, cm *ctlmsg.Msg) {
 	}
 	switch cm.Kind {
 	case ctlmsg.KMSyn:
+		m.mu.Lock()
+		_, dup := m.conns[cm.ConnID]
+		m.mu.Unlock()
+		if dup {
+			// A re-sent SYN (the client's monitor restarted and replayed
+			// it); the original dispatch stands.
+			return
+		}
 		ref, ok := m.pickListener(cm.Port)
 		if !ok {
-			r := ctlmsg.Msg{Kind: ctlmsg.KMRefused, ConnID: cm.ConnID}
+			r := ctlmsg.Msg{Kind: ctlmsg.KMRefused, ConnID: cm.ConnID, Epoch: m.epoch}
 			mc.send(&r)
 			return
 		}
@@ -712,6 +853,10 @@ func (m *Monitor) handleRemote(ctx exec.Context, mc *mchan, cm *ctlmsg.Msg) {
 			m.sendTo(ctx, owner, cm, true)
 			m.wakeSleepers(owner)
 		}
+	case ctlmsg.KMHeartbeat:
+		// Liveness beacon; noteRemote already refreshed the peer's clock.
+		// Echo so a quiet monitor still proves liveness (rate-limited).
+		m.hbEcho(ctx, mc.peer)
 	}
 }
 
@@ -752,22 +897,35 @@ func (m *Monitor) onListen(ctx exec.Context, pc *procChan, cm *ctlmsg.Msg) {
 		m.sendTo(ctx, pc.p.PID, &res, false)
 		return
 	}
+	m.addListener(cm.Port, int(cm.PID), int(cm.TID))
+	res.Status = ctlmsg.StatusOK
+	m.sendTo(ctx, pc.p.PID, &res, false)
+}
+
+// addListener records a (port, thread) listener registration and dual-
+// listens on the kernel stack so regular TCP/IP peers can still reach the
+// service (§4.5.3). Shared by the bind path and restart resurrection; a
+// duplicate registration (re-sent bind, replayed report) is a no-op.
+func (m *Monitor) addListener(port uint16, pid, tid int) {
+	ref := listenerRef{pid: pid, tid: tid}
 	m.mu.Lock()
-	m.listeners[cm.Port] = append(m.listeners[cm.Port], listenerRef{pid: int(cm.PID), tid: int(cm.TID)})
-	needKern := m.KS != nil && m.kernLs[cm.Port] == nil
+	for _, r := range m.listeners[port] {
+		if r == ref {
+			m.mu.Unlock()
+			return
+		}
+	}
+	m.listeners[port] = append(m.listeners[port], ref)
+	needKern := m.KS != nil && m.kernLs[port] == nil
 	m.mu.Unlock()
 	if needKern {
-		// Dual-listen on the kernel stack so regular TCP/IP peers can
-		// still reach this service (§4.5.3).
-		if kl, err := m.KS.Listen(cm.Port); err == nil {
+		if kl, err := m.KS.Listen(port); err == nil {
 			kl.SetNotify(m.wake)
 			m.mu.Lock()
-			m.kernLs[cm.Port] = kl
+			m.kernLs[port] = kl
 			m.mu.Unlock()
 		}
 	}
-	res.Status = ctlmsg.StatusOK
-	m.sendTo(ctx, pc.p.PID, &res, false)
 }
 
 // pickListener round-robins over a port's listeners (§4.5.2).
@@ -794,10 +952,29 @@ func (m *Monitor) onConnect(ctx exec.Context, pc *procChan, cm *ctlmsg.Msg) {
 		m.fail(ctx, pc.p.PID, cm.ConnID, ctlmsg.StatusDenied)
 		return
 	}
+	m.mu.Lock()
+	_, dup := m.conns[cm.ConnID]
+	m.mu.Unlock()
+	if dup {
+		// A bounded wait re-sent this connect; the first copy was already
+		// dispatched and its KConnectRes is in (or on its way to) the
+		// client's ring. Dispatching twice would orphan an endpoint.
+		return
+	}
 	if dst == m.H.Name {
 		m.dispatchIntra(ctx, pc, cm)
 		return
 	}
+	m.connectRemote(ctx, cm)
+}
+
+// connectRemote forwards a connect toward a remote host, probing first when
+// no usable monitor channel exists. finishProbes re-drives queued connects
+// through here directly: by then the conn record already exists (created
+// below on the first pass), and onConnect's duplicate check — which guards
+// against bounded-wait re-sends, not probe re-drives — would drop them.
+func (m *Monitor) connectRemote(ctx exec.Context, cm *ctlmsg.Msg) {
+	dst := cm.HostStr()
 	m.mu.Lock()
 	m.connOwner[cm.ConnID] = int(cm.PID)
 	m.conns[cm.ConnID] = &connRec{pids: [2]int{int(cm.PID), 0}, peerHost: dst}
@@ -814,6 +991,7 @@ func (m *Monitor) onConnect(ctx exec.Context, pc *procChan, cm *ctlmsg.Msg) {
 	if mc != nil {
 		fwd := *cm
 		fwd.Kind = ctlmsg.KMSyn
+		fwd.Epoch = m.epoch
 		fwd.SetHost(m.H.Name) // origin (unused by the peer; it trusts the channel)
 		mc.send(&fwd)
 		return
@@ -1039,7 +1217,10 @@ func (m *Monitor) onReQP(ctx exec.Context, pc *procChan, cm *ctlmsg.Msg) {
 		// Intra-host RDMA does not exist; nothing to do.
 		return
 	}
-	// Dropped (not queued) if the channel is dead: the requester re-sends
-	// KReQP on its recovery deadline, and the probe heals the channel.
-	m.mchanSend(ctx, peerHost, &fwd, false)
+	// Queued if the channel is dead or not yet probed (a restarted monitor
+	// starts with no channels at all): the fork/migrate flow's bounded wait
+	// re-sends only on monitor *silence*, and a live daemon that dropped the
+	// forward downstream would answer pings while the splice starves. The
+	// recovery flow's own nonce'd re-sends tolerate the duplicate.
+	m.mchanSend(ctx, peerHost, &fwd, true)
 }

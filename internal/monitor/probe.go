@@ -60,6 +60,7 @@ func (m *Monitor) probe(ctx exec.Context, dst string) {
 	var opt ctlmsg.Msg
 	opt.Kind = ctlmsg.KMSyn
 	opt.QPN = mc.qp.QPN()
+	opt.Epoch = m.epoch // hello carries our incarnation
 	opts := append(append([]byte{}, sdMagic...), opt.Marshal(nil)...)
 
 	answered := false
@@ -76,6 +77,7 @@ func (m *Monitor) probe(ctx exec.Context, dst string) {
 			if rm, ok := ctlmsg.Unmarshal(seg.Options[len(sdMagic):]); ok {
 				mc.connect(dst, rm.QPN)
 				pr.kind = probeSD
+				m.notePeerEpoch(dst, rm.Epoch)
 			} else {
 				pr.kind = probeRST
 			}
@@ -142,13 +144,15 @@ func (m *Monitor) finishProbes(ctx exec.Context, dst string, pr probeResult) {
 		for _, qm := range parked {
 			pr.mc.send(qm)
 		}
-		// Re-drive every queued connect through the RDMA path.
+		// Re-drive every queued connect through the RDMA path. Not via
+		// onConnect: its duplicate check (against bounded-wait re-sends)
+		// would drop these, since the first pass already recorded them.
 		for _, cm := range queued {
 			m.mu.Lock()
 			pc := m.procs[int(cm.PID)]
 			m.mu.Unlock()
 			if pc != nil {
-				m.onConnect(ctx, pc, cm)
+				m.connectRemote(ctx, cm)
 			}
 		}
 	case probeNoSD:
@@ -235,8 +239,19 @@ func (m *Monitor) synFilter(seg *tcpstack.Segment) bool {
 	if !bytes.HasPrefix(seg.Options, sdMagic) {
 		return false
 	}
+	m.mu.Lock()
+	stopped := m.stopped
+	m.mu.Unlock()
+	if stopped {
+		// A stopped daemon must not answer capability probes: it would
+		// hand out credentials for a channel nobody drains. Let the SYN
+		// fall through to the kernel stack (RST / plain handshake), which
+		// the prober treats as probe failure.
+		return false
+	}
 	rm, ok := ctlmsg.Unmarshal(seg.Options[len(sdMagic):])
 	if !ok {
+		mBadCtlmsg.Inc()
 		return true // malformed special SYN: swallow
 	}
 	mc := newMchan(m.H, seg.SrcHost)
@@ -246,9 +261,11 @@ func (m *Monitor) synFilter(seg *tcpstack.Segment) bool {
 	m.mu.Lock()
 	m.mchans[seg.SrcHost] = mc
 	m.mu.Unlock()
+	m.notePeerEpoch(seg.SrcHost, rm.Epoch)
 	var opt ctlmsg.Msg
 	opt.Kind = ctlmsg.KMSynAck
 	opt.QPN = mc.qp.QPN()
+	opt.Epoch = m.epoch
 	opts := append(append([]byte{}, sdMagic...), opt.Marshal(nil)...)
 	m.KS.TCP().Inject(&tcpstack.Segment{
 		DstHost: seg.SrcHost, SrcPort: seg.DstPort, DstPort: seg.SrcPort,

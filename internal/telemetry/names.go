@@ -73,6 +73,17 @@ const (
 	MonRescues       = "sd/monitor/rescues"
 	MonCrashCleanups = "sd/monitor/crash_cleanups"
 
+	// monitor restart survivability (epochs, resurrection, liveness).
+	MonEpoch           = "sd/monitor/epoch" // gauge: current incarnation number
+	MonRestarts        = "sd/monitor/restarts"
+	MonStaleDropped    = "sd/monitor/stale_dropped" // messages from a dead incarnation
+	MonReregistrations = "sd/monitor/reregistrations"
+	MonBadCtlmsg       = "sd/monitor/bad_ctlmsg" // malformed/truncated control messages
+	MonHBSent          = "sd/monitor/hb_sent"
+	MonHBMissed        = "sd/monitor/hb_missed"
+	MonHBSuspects      = "sd/monitor/hb_suspects"
+	MonHostDeadFanouts = "sd/monitor/host_dead_fanouts" // confirmed remote-host deaths
+
 	// host / simulated kernel — the Table 4 rows.
 	HostSyscalls   = "sd/host/syscalls"
 	HostCopies     = "sd/host/copies"

@@ -65,7 +65,13 @@ var (
 	ECONNRESET       = core.ECONNRESET
 	EPIPE            = core.EPIPE
 	ErrProcessKilled = core.ErrProcessKilled
-	EOF              = io.EOF
+	// ETIMEDOUT and EAGAIN both wrap ErrMonitorDown: the control plane
+	// went silent past its deadline; the operation is safe to retry once
+	// a monitor incarnation answers again.
+	ErrMonitorDown = core.ErrMonitorDown
+	ETIMEDOUT      = core.ETIMEDOUT
+	EAGAIN         = core.EAGAIN
+	EOF            = io.EOF
 )
 
 // Config selects the cluster's execution mode and cost calibration.
