@@ -24,7 +24,17 @@
 //	                    with zero resets, downtime control ops bound at
 //	                    ETIMEDOUT, successors resurrect state and converge
 //	sdbench all         everything above
-//	sdbench stats [experiment...]
+//	sdbench sdstat [-json] [crash|chaos|smoke]
+//	                    run a workload, then print the per-connection flow
+//	                    table (`ss` for the simulated cluster): transport,
+//	                    state, byte/msg counters, takeovers, recoveries,
+//	                    resets, ring high-water, monitor epoch
+//	sdbench obssmoke [-o dir]
+//	                    observability gate: a traced cross-host echo must
+//	                    merge into one complete connect timeline, and an
+//	                    induced retry exhaustion must produce exactly one
+//	                    flight-recorder dump; both artifacts land in -o
+//	sdbench stats [-json] [experiment...]
 //	                    run the experiments (default: table2) and dump the
 //	                    full telemetry registry afterwards
 //	sdbench bench [-short] [-o out.json]
@@ -42,6 +52,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -90,6 +101,10 @@ func main() {
 		}
 	case "stats":
 		stats(args[1:], cmds)
+	case "sdstat":
+		sdstatCmd(args[1:])
+	case "obssmoke":
+		obssmokeCmd(args[1:])
 	case "bench":
 		benchCmd(args[1:])
 	case "compare":
@@ -108,10 +123,21 @@ func main() {
 }
 
 // stats runs the named experiments (default table2) and then dumps every
-// non-zero metric in the telemetry registry.
-func stats(names []string, cmds map[string]func()) {
+// non-zero metric in the telemetry registry, as text or (-json) JSON.
+func stats(args []string, cmds map[string]func()) {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	asJSON := fs.Bool("json", false, "emit the telemetry registry as JSON")
+	fs.Parse(args)
+	names := fs.Args()
 	if len(names) == 0 {
 		names = []string{"table2"}
+	}
+	out := os.Stdout
+	if *asJSON {
+		// Keep stdout pure JSON: the experiments' narrative output moves
+		// to stderr (fmt resolves os.Stdout at each call, so this works).
+		os.Stdout = os.Stderr
+		defer func() { os.Stdout = out }()
 	}
 	for _, name := range names {
 		fn, ok := cmds[name]
@@ -120,10 +146,22 @@ func stats(names []string, cmds map[string]func()) {
 			os.Exit(2)
 		}
 		fn()
-		fmt.Println()
+		if !*asJSON {
+			fmt.Println()
+		}
+	}
+	snap := telemetry.Capture()
+	if *asJSON {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(snap); err != nil {
+			fmt.Fprintf(os.Stderr, "stats: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 	fmt.Println("== Telemetry registry (non-zero metrics) ==")
-	fmt.Print(telemetry.Capture().Format(true))
+	fmt.Print(snap.Format(true))
 }
 
 // printDeltas renders the non-zero counter movement of one experiment
@@ -271,6 +309,7 @@ func chaos() {
 	fmt.Println()
 	printDeltas("chaos counter deltas (whole workload)", telemetry.Capture().Diff(before))
 	if !r.Passed() {
+		failureDump("chaos")
 		os.Exit(1)
 	}
 }
@@ -282,6 +321,7 @@ func crash() {
 	fmt.Println()
 	printDeltas("crash counter deltas (whole workload)", telemetry.Capture().Diff(before))
 	if !r.Passed() {
+		failureDump("crash")
 		os.Exit(1)
 	}
 }
@@ -293,6 +333,7 @@ func mrestart() {
 	fmt.Println()
 	printDeltas("mrestart counter deltas (whole workload)", telemetry.Capture().Diff(before))
 	if !r.Passed() {
+		failureDump("mrestart")
 		os.Exit(1)
 	}
 }

@@ -1,0 +1,127 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"text/tabwriter"
+
+	"socksdirect/internal/experiments"
+	"socksdirect/internal/obs"
+)
+
+// sdstatCmd runs a workload and prints the per-connection flow table —
+// the `ss` of the simulated cluster: one row per socket endpoint with
+// transport, state, byte/message counters, takeovers, recoveries,
+// resets, send-ring high-water and the monitor epoch the endpoint saw.
+//
+//	sdbench sdstat [-json] [crash|chaos|smoke]
+func sdstatCmd(args []string) {
+	fs := flag.NewFlagSet("sdstat", flag.ExitOnError)
+	asJSON := fs.Bool("json", false, "emit the flow table as JSON")
+	fs.Parse(args)
+	workload := "crash"
+	if fs.NArg() > 0 {
+		workload = fs.Arg(0)
+	}
+
+	obs.Reset()
+	obs.SetArmed(false) // induced faults are expected; no dumps
+	switch workload {
+	case "crash":
+		r := experiments.Crash(2, 2, 1024)
+		fmt.Fprintln(os.Stderr, r)
+	case "chaos":
+		r := experiments.Chaos(120, 1024)
+		fmt.Fprintln(os.Stderr, r)
+	case "smoke":
+		r := experiments.ObsSmoke(20, 512)
+		fmt.Fprintln(os.Stderr, r)
+	default:
+		fmt.Fprintf(os.Stderr, "sdstat: unknown workload %q (want crash, chaos or smoke)\n", workload)
+		os.Exit(2)
+	}
+	obs.SetArmed(true)
+
+	flows := obs.Flows()
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(flows); err != nil {
+			fmt.Fprintf(os.Stderr, "sdstat: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	tw := tabwriter.NewWriter(os.Stdout, 2, 8, 2, ' ', 0)
+	fmt.Fprintln(tw, "HOST\tPID\tQID\tPEER\tTRANSPORT\tSTATE\tBYTES-TX\tBYTES-RX\tMSGS-TX\tMSGS-RX\tTAKEOVER\tRECOV\tRESETS\tRING-HW\tEPOCH")
+	for _, f := range flows {
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%s\t%s\t%s\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\n",
+			f.Host, f.PID, f.QID, f.Peer, f.Transport, f.State,
+			f.BytesTx, f.BytesRx, f.MsgsTx, f.MsgsRx,
+			f.Takeovers, f.Recovs, f.Resets, f.RingHW, f.Epoch)
+	}
+	tw.Flush()
+	fmt.Printf("%d flows\n", len(flows))
+}
+
+// obssmokeCmd is the CI observability gate: a short cross-host echo under
+// tracing must yield one complete connect trace (>=5 causally ordered
+// hops, breakdown summing to the end-to-end latency), and an induced
+// retry exhaustion must produce exactly one flight-recorder dump. Both
+// artifacts are written to -o for upload.
+//
+//	sdbench obssmoke [-o dir]
+func obssmokeCmd(args []string) {
+	fs := flag.NewFlagSet("obssmoke", flag.ExitOnError)
+	outDir := fs.String("o", ".", "directory for trace and recorder artifacts")
+	fs.Parse(args)
+
+	smoke := experiments.ObsSmoke(20, 512)
+	fmt.Println(smoke)
+	// The smoke's rings are still live: snapshot them as the connect-trace
+	// artifact before the drill resets the obs state.
+	connTrace := obs.ForceDump(obs.TrigManual, smoke.RunNs, "obssmoke connect trace")
+	writeDump(filepath.Join(*outDir, "sd-obssmoke-connect.trace.json"), connTrace)
+
+	drill := experiments.ObsRetryDrill(30, 1024)
+	fmt.Println(drill)
+	if drill.Dumps > 0 {
+		writeDump(filepath.Join(*outDir, "sd-obssmoke-recorder.trace.json"), drill.Dump)
+	}
+
+	if !smoke.Passed() || !drill.Passed() {
+		os.Exit(1)
+	}
+}
+
+func writeDump(path string, d obs.Dump) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "obssmoke: %v\n", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	if err := d.WriteChrome(f); err != nil {
+		fmt.Fprintf(os.Stderr, "obssmoke: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s (%d spans, %d flows)\n", path, len(d.Spans), len(d.Flows))
+}
+
+// failureDump ships a flight-recorder artifact when a soak command fails
+// its acceptance bar, so the failing run carries its own evidence.
+func failureDump(name string) {
+	path := fmt.Sprintf("sd-flight-%s-failure.trace.json", name)
+	d := obs.ForceDump(obs.TrigManual, 0, name+" soak failed its acceptance bar")
+	f, err := os.Create(path)
+	if err != nil {
+		return
+	}
+	defer f.Close()
+	if d.WriteChrome(f) == nil {
+		fmt.Fprintf(os.Stderr, "wrote failure evidence to %s\n", path)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"socksdirect/internal/ctlmsg"
 	"socksdirect/internal/exec"
 	"socksdirect/internal/host"
+	"socksdirect/internal/obs"
 	"socksdirect/internal/rdma"
 	"socksdirect/internal/shm"
 )
@@ -130,7 +131,11 @@ func (l *Libsd) buildEP(rl *rdmaLocal, peerHost string, m *ctlmsg.Msg) (*rdmaEP,
 func (l *Libsd) ListenOn(ctx exec.Context, t *host.Thread, port uint16) (*Listener, error) {
 	l.enter()
 	defer l.leave()
-	m := ctlmsg.Msg{Kind: ctlmsg.KListen, Port: port, PID: int64(l.P.PID), TID: int64(t.TID)}
+	op := obs.BeginOp(l.H.Name, int64(l.P.PID), obs.OpBind, ctx.Now())
+	opOK := false
+	defer func() { op.End(l.H.Clk.Now(), opOK) }()
+	m := ctlmsg.Msg{Kind: ctlmsg.KListen, Port: port, PID: int64(l.P.PID), TID: int64(t.TID),
+		TraceID: op.Trace, SpanID: op.Span}
 	l.sendCtl(ctx, &m)
 	// Wait for the bind result (the paper hides this latency when failure
 	// is impossible; we keep the round trip for clear error reporting).
@@ -162,6 +167,7 @@ func (l *Libsd) ListenOn(ctx exec.Context, t *host.Thread, port uint16) (*Listen
 	}
 	lst := &Listener{lib: l, port: port, t: t}
 	lst.fd = l.installFD(&fdEntry{kind: fdListener, lst: lst})
+	opOK = true
 	return lst, nil
 }
 
@@ -178,6 +184,9 @@ func (lst *Listener) Accept(ctx exec.Context) (*Socket, host.KFile, error) {
 	l := lst.lib
 	l.enter()
 	defer l.leave()
+	op := obs.BeginOp(l.H.Name, int64(l.P.PID), obs.OpAccept, ctx.Now())
+	opOK := false
+	defer func() { op.End(l.H.Clk.Now(), opOK) }()
 	key := backlogKey{port: lst.port, tid: lst.t.TID}
 	l.mu.Lock()
 	bl := l.backlogs[key]
@@ -195,7 +204,9 @@ func (lst *Listener) Accept(ctx exec.Context) (*Socket, host.KFile, error) {
 			pa := bl.conns[0]
 			bl.conns = bl.conns[:copy(bl.conns, bl.conns[1:])]
 			l.mu.Unlock()
-			return l.finishAccept(ctx, lst.t, pa)
+			s, kf, err := l.finishAccept(ctx, lst.t, pa)
+			opOK = err == nil
+			return s, kf, err
 		}
 		l.mu.Unlock()
 		if e := l.monEpoch.Load(); e != hintEpoch {
@@ -207,7 +218,8 @@ func (lst *Listener) Accept(ctx exec.Context) (*Socket, host.KFile, error) {
 		}
 		if !hinted {
 			// Ask the monitor to steal from a sibling's backlog.
-			m := ctlmsg.Msg{Kind: ctlmsg.KAcceptHint, Port: lst.port, PID: int64(l.P.PID), TID: int64(lst.t.TID)}
+			m := ctlmsg.Msg{Kind: ctlmsg.KAcceptHint, Port: lst.port, PID: int64(l.P.PID), TID: int64(lst.t.TID),
+				TraceID: op.Trace, SpanID: op.Span}
 			l.sendCtl(ctx, &m)
 			hinted = true
 		}
@@ -276,6 +288,7 @@ func (l *Libsd) finishAccept(ctx exec.Context, t *host.Thread, pa *pendingAccept
 		s.side.RecvHolder.Store(me)
 		s.fd = l.installFD(&fdEntry{kind: fdSocket, sock: s})
 		l.trackSock(s)
+		l.initFlow(s)
 		s.sendMsg(ctx, MAck, nil, nil) // Fig. 6: server ACK finalizes setup
 		s.established = true
 		return s, nil, nil
@@ -286,6 +299,7 @@ func (l *Libsd) finishAccept(ctx exec.Context, t *host.Thread, pa *pendingAccept
 		s.side.RecvHolder.Store(me)
 		s.fd = l.installFD(&fdEntry{kind: fdSocket, sock: s})
 		l.trackSock(s)
+		l.initFlow(s)
 		s.sendMsg(ctx, MAck, nil, nil)
 		s.established = true
 		return s, nil, nil
@@ -317,9 +331,16 @@ func (l *Libsd) Connect(ctx exec.Context, t *host.Thread, dstHost string, dstPor
 	l.pending[connID] = pc
 	l.mu.Unlock()
 
+	// Root span: the whole blocking connect, every control hop it causes
+	// parents back to this trace through the message envelope.
+	op := obs.BeginOp(l.H.Name, int64(l.P.PID), obs.OpConnect, ctx.Now())
+	opOK := false
+	defer func() { op.End(l.H.Clk.Now(), opOK) }()
+
 	m := ctlmsg.Msg{
 		Kind: ctlmsg.KConnect, ConnID: connID, Port: dstPort,
 		PID: int64(l.P.PID), TID: int64(t.TID),
+		TraceID: op.Trace, SpanID: op.Span,
 	}
 	m.SetHost(dstHost)
 	if dstHost != l.H.Name {
@@ -377,6 +398,7 @@ func (l *Libsd) Connect(ctx exec.Context, t *host.Thread, dstHost string, dstPor
 			return nil, nil, ErrBadFD
 		}
 		l.installFD(&fdEntry{kind: fdKernel, kf: kf})
+		opOK = true
 		return nil, kf, nil
 	}
 
@@ -394,9 +416,11 @@ func (l *Libsd) Connect(ctx exec.Context, t *host.Thread, dstHost string, dstPor
 			s.side.RecvHolder.Store(me)
 			s.fd = l.installFD(&fdEntry{kind: fdSocket, sock: s})
 			l.trackSock(s)
+			l.initFlow(s)
 			l.mu.Lock()
 			delete(l.pending, connID)
 			l.mu.Unlock()
+			opOK = true
 			return s, nil, nil
 		}
 		if l.P.Dead() {
@@ -502,6 +526,8 @@ func (l *Libsd) handleCtl(ctx exec.Context, m *ctlmsg.Msg) {
 			res.ConnID = m.ConnID
 			res.Transport = ctlmsg.TransportRDMA
 			res.PID = int64(l.P.PID)
+			res.TraceID = m.TraceID // keep the connect's causal chain alive
+			res.SpanID = m.SpanID
 			rl.desc(&res)
 			res.SetHost(l.H.Name)
 			l.sendCtl(ctx, &res)
@@ -590,7 +616,8 @@ func (l *Libsd) handleCtl(ctx exec.Context, m *ctlmsg.Msg) {
 		}
 		l.mu.Unlock()
 		res := ctlmsg.Msg{Kind: ctlmsg.KReQPRes, QID: m.QID, Aux: m.Aux,
-			PID: int64(l.P.PID), ConnID: m.ConnID, Dir: m.Dir}
+			PID: int64(l.P.PID), ConnID: m.ConnID, Dir: m.Dir,
+			TraceID: m.TraceID, SpanID: m.SpanID}
 		res.SetHost(l.H.Name)
 		recovery := m.Dir == ctlmsg.ReQPRecovery
 		if any == nil || (recovery && any.side.Degraded.Load()) {

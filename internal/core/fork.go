@@ -4,6 +4,7 @@ import (
 	"socksdirect/internal/ctlmsg"
 	"socksdirect/internal/exec"
 	"socksdirect/internal/host"
+	"socksdirect/internal/obs"
 	"socksdirect/internal/shm"
 )
 
@@ -29,7 +30,11 @@ func (l *Libsd) Fork(ctx exec.Context, t *host.Thread, name string) (*host.Proce
 	// before actually forking (the real fork also happens strictly after
 	// the secret message, §4.1.2).
 	secret := uint64(l.P.PID)<<32 ^ uint64(l.H.Clk.Now()) ^ 0x5ec4e7
-	m := ctlmsg.Msg{Kind: ctlmsg.KForkSecret, Secret: secret, PID: int64(l.P.PID)}
+	op := obs.BeginOp(l.H.Name, int64(l.P.PID), obs.OpFork, ctx.Now())
+	opOK := false
+	defer func() { op.End(l.H.Clk.Now(), opOK) }()
+	m := ctlmsg.Msg{Kind: ctlmsg.KForkSecret, Secret: secret, PID: int64(l.P.PID),
+		TraceID: op.Trace, SpanID: op.Span}
 	l.sendCtl(ctx, &m)
 	w := l.newCtlWaiter(ctx, func(c exec.Context) { l.sendCtl(c, &m) })
 	for {
@@ -124,6 +129,7 @@ func (l *Libsd) Fork(ctx exec.Context, t *host.Thread, name string) (*host.Proce
 			cl.mu.Unlock()
 		}
 	}
+	opOK = true
 	return child, cl, nil
 }
 

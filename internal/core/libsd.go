@@ -9,6 +9,7 @@ import (
 	"socksdirect/internal/ctlmsg"
 	"socksdirect/internal/exec"
 	"socksdirect/internal/host"
+	"socksdirect/internal/obs"
 	"socksdirect/internal/rdma"
 	"socksdirect/internal/shm"
 )
@@ -269,6 +270,11 @@ func (l *Libsd) processRevokes(ctx exec.Context) {
 // wait re-sends under the new epoch.
 func (l *Libsd) sendCtl(ctx exec.Context, m *ctlmsg.Msg) {
 	m.Epoch = l.monEpoch.Load()
+	if m.TraceID != 0 {
+		// Queue-hop start for the monitor's span. Clock, not ctx: the
+		// signal-handler path calls through here with a nil context.
+		m.TS = l.H.Clk.Now()
+	}
 	var buf [ctlmsg.Size]byte
 	b := m.Marshal(buf[:])
 	l.ctlMu.Lock()
@@ -304,10 +310,14 @@ func (l *Libsd) pollCtl(ctx exec.Context) bool {
 			return progress
 		}
 		progress = true
-		l.lastCtlRecv.Store(l.H.Clk.Now())
+		now := l.H.Clk.Now()
+		l.lastCtlRecv.Store(now)
 		if m.Epoch != 0 && !l.noteMonEpoch(m.Epoch) {
 			continue // a dead incarnation's leftover: drop it
 		}
+		// Queue hop: monitor enqueue (m.TS) to this process's dequeue.
+		m.SpanID = obs.RecordHop(l.H.Name, int64(l.P.PID), obs.HopProcRing,
+			uint8(m.Kind), m.TraceID, m.SpanID, m.TS, now)
 		l.handleCtl(ctx, &m)
 	}
 }

@@ -5,6 +5,7 @@ import (
 
 	"socksdirect/internal/ctlmsg"
 	"socksdirect/internal/exec"
+	"socksdirect/internal/obs"
 	"socksdirect/internal/rdma"
 	"socksdirect/internal/telemetry"
 )
@@ -72,6 +73,8 @@ type recoverState struct {
 	attempts    int      // failed attempts so far (spends the budget)
 	next        int64    // earliest virtual time for the next attempt
 	degradeSent bool     // KDegrade issued; waiting for the rescue socket
+
+	op obs.OpSpan // root span of the in-flight attempt (obs tracing)
 }
 
 // SetRecoveryBudget overrides the per-socket QP re-establishment budget
@@ -130,6 +133,7 @@ func (e *rdmaEP) maybeRecover(ctx exec.Context) {
 			r.qp.Close()
 			r.qp = nil
 			e.lib.dropReQP(e.side.QID, r.nonce)
+			r.op.End(now, false)
 			e.backoff(r, now)
 		}
 		return
@@ -182,9 +186,11 @@ func (e *rdmaEP) startAttempt(ctx exec.Context, r *recoverState, now int64) {
 		telemetry.Trace.Emit(now, "core", "recovery_attempt",
 			telemetry.A("qid", int64(e.side.QID)), telemetry.A("attempt", int64(r.attempts+1)))
 	}
+	r.op = obs.BeginOp(l.H.Name, int64(l.P.PID), obs.OpRecovery, now)
 	req := ctlmsg.Msg{
 		Kind: ctlmsg.KReQP, QID: e.side.QID, PID: int64(l.P.PID),
 		QPN: qp.QPN(), Dir: ctlmsg.ReQPRecovery, ConnID: nonce,
+		TraceID: r.op.Trace, SpanID: r.op.Span,
 		// Our MRs survived the QP failure; the peer's replacement QP writes
 		// to the same rings with the same keys.
 		RingRKey: e.side.SelfRingRKey, CreditRKey: e.side.SelfCreditRKey,
@@ -199,6 +205,7 @@ func (e *rdmaEP) finishRecovery(ctx exec.Context, r *recoverState, pr pendingReQ
 	r.qp = nil
 	if pr.status != ctlmsg.StatusOK || pr.peerQPN == 0 {
 		qp.Close()
+		r.op.End(ctx.Now(), false)
 		e.backoff(r, ctx.Now())
 		return
 	}
@@ -211,12 +218,17 @@ func (e *rdmaEP) finishRecovery(ctx exec.Context, r *recoverState, pr pendingReQ
 	l.registerEP(ep2)
 	if err := qp.Connect(pr.peerHost, pr.peerQPN); err != nil {
 		qp.Close()
+		r.op.End(ctx.Now(), false)
 		e.backoff(r, ctx.Now())
 		return
 	}
 	l.mu.Lock()
+	var flow *obs.Flow
 	for s := range l.socks[e.side.QID] {
 		s.ep = ep2
+		if flow == nil {
+			flow = s.flow
+		}
 	}
 	l.mu.Unlock()
 	e.side.creditEP.Store(&creditBox{ep2})
@@ -226,6 +238,9 @@ func (e *rdmaEP) finishRecovery(ctx exec.Context, r *recoverState, pr pendingReQ
 	ep2.resync(ctx)
 	r.attempts = 0
 	mRecoveries.Inc()
+	flow.Recovery()
+	r.op.End(ctx.Now(), true)
+	obs.Trigger(obs.TrigQPRecovery, ctx.Now(), "QP recovered on "+l.H.Name)
 	if telemetry.Trace.Enabled() {
 		telemetry.Trace.Emit(ctx.Now(), "core", "recovery_done",
 			telemetry.A("qid", int64(e.side.QID)))
@@ -258,9 +273,13 @@ func (e *rdmaEP) startDegrade(ctx exec.Context, r *recoverState) {
 		telemetry.Trace.Emit(ctx.Now(), "core", "degrade_request",
 			telemetry.A("qid", int64(e.side.QID)))
 	}
-	req := ctlmsg.Msg{Kind: ctlmsg.KDegrade, QID: e.side.QID, PID: int64(e.lib.P.PID)}
+	obs.Trigger(obs.TrigRetryExhaustion, ctx.Now(), "QP recovery budget exhausted on "+e.lib.H.Name)
+	op := obs.BeginOp(e.lib.H.Name, int64(e.lib.P.PID), obs.OpDegrade, ctx.Now())
+	req := ctlmsg.Msg{Kind: ctlmsg.KDegrade, QID: e.side.QID, PID: int64(e.lib.P.PID),
+		TraceID: op.Trace, SpanID: op.Span}
 	req.SetHost(e.side.PeerHost)
 	e.lib.sendCtl(ctx, &req)
+	op.End(ctx.Now(), true)
 }
 
 // takeReQP removes and returns the (qid, nonce) entry if its response has

@@ -7,6 +7,7 @@ import (
 	"socksdirect/internal/ctlmsg"
 	"socksdirect/internal/exec"
 	"socksdirect/internal/host"
+	"socksdirect/internal/obs"
 	"socksdirect/internal/shm"
 	"socksdirect/internal/telemetry"
 )
@@ -40,6 +41,10 @@ type Socket struct {
 	// accounting — reclaim-on-crash — survives the restart.
 	shmTok uint64
 
+	// flow is this endpoint's row in the obs flow table (sdstat). Nil
+	// until the socket is established; every Flow method is nil-safe.
+	flow *obs.Flow
+
 	// stream reassembly: bytes of a partially consumed ring message.
 	rxPending []byte
 
@@ -47,6 +52,27 @@ type Socket struct {
 	rxZC []zcRecv
 
 	established bool // saw the MAck (Fig. 6 Wait-Server -> Established)
+}
+
+// initFlow registers the socket in the obs flow table (the `sdstat` view,
+// §4.5 introspection). Called once the endpoint is established; the probe
+// closure captures fields only this endpoint can read.
+func (l *Libsd) initFlow(s *Socket) {
+	peer := s.side.PeerHost
+	if peer == "" {
+		peer = l.H.Name // intra-host: both ends live here
+	}
+	tr := uint8(ctlmsg.TransportRDMA)
+	if s.intra != nil {
+		tr = uint8(ctlmsg.TransportSHM)
+	}
+	f := obs.RegisterFlow(obs.FlowKey{Host: l.H.Name, PID: int64(l.P.PID), QID: s.side.QID}, peer, tr)
+	side := s.side
+	f.SetProbe(func(fs *obs.FlowSnapshot) {
+		fs.RingHW = int64(side.TX.OccHW())
+		fs.Epoch = l.monEpoch.Load()
+	})
+	s.flow = f
 }
 
 // FD returns the descriptor this socket is installed at.
@@ -72,6 +98,8 @@ func (s *Socket) acquireToken(ctx exec.Context, t *host.Thread, dir int) error {
 			return nil // unowned (returned or never claimed): grab it
 		}
 		mTokenTakeover.Inc()
+		s.flow.Takeover()
+		op := obs.BeginOp(s.lib.H.Name, int64(s.lib.P.PID), obs.OpTakeover, ctx.Now())
 		if telemetry.Trace.Enabled() {
 			telemetry.Trace.Emit(ctx.Now(), "core", "token_takeover",
 				telemetry.A("qid", int64(s.side.QID)), telemetry.A("dir", int64(dir)))
@@ -83,6 +111,7 @@ func (s *Socket) acquireToken(ctx exec.Context, t *host.Thread, dir int) error {
 			Kind: ctlmsg.KTakeover, QID: s.side.QID, Dir: uint8(dir),
 			SrcPort: s.sideIdx, Aux: uint64(h),
 			PID: int64(s.lib.P.PID), TID: int64(t.TID),
+			TraceID: op.Trace, SpanID: op.Span,
 		}
 		s.lib.sendCtl(ctx, &m)
 		polls := 0
@@ -98,17 +127,21 @@ func (s *Socket) acquireToken(ctx exec.Context, t *host.Thread, dir int) error {
 		for {
 			cur := holder.Load()
 			if cur == me {
+				op.End(ctx.Now(), true)
 				return nil
 			}
 			if cur == 0 && holder.CompareAndSwap(0, me) {
+				op.End(ctx.Now(), true)
 				return nil // freed while we waited
 			}
 			if s.lib.P.Dead() {
+				op.End(ctx.Now(), false)
 				return ErrProcessKilled
 			}
 			if s.peerGone() && (dir == DirSend || !s.hasDrainable()) {
 				// Peer crashed and (for receivers) nothing is left to
 				// drain; no point waiting for a token on a dead queue.
+				op.End(ctx.Now(), false)
 				return s.resetErr(ctx, dir)
 			}
 			// Note: no hand-back of OUR pending grant here — that would
@@ -117,6 +150,7 @@ func (s *Socket) acquireToken(ctx exec.Context, t *host.Thread, dir int) error {
 			// executed on their behalf; the busy counters make it safe.
 			s.lib.processRevokes(ctx)
 			if err := w.step(ctx); err != nil {
+				op.End(ctx.Now(), false)
 				return EAGAIN
 			}
 			polls++
@@ -207,6 +241,7 @@ func (s *Socket) Send(ctx exec.Context, t *host.Thread, data []byte) (int, error
 		}
 		host.CountCopy(n)
 		ctx.Charge(s.lib.H.Costs.CopyCost(n))
+		s.flow.AddTx(int64(n))
 		data = data[n:]
 		total += n
 	}
@@ -291,6 +326,7 @@ func (s *Socket) dispatchMsg(ctx exec.Context, msg shm.Msg, buf []byte) (bool, i
 		host.CountCopy(n)
 		ctx.Charge(s.lib.H.Costs.CopyCost(n))
 		mRecvBytes.Add(int64(n))
+		s.flow.AddRx(int64(n))
 		return true, n, nil
 	case MZC:
 		s.queueZC(msg.Payload)
@@ -417,6 +453,8 @@ func (s *Socket) hasDrainable() bool {
 func (s *Socket) resetErr(ctx exec.Context, dir int) error {
 	if s.side.ResetSeen.CompareAndSwap(false, true) {
 		mResets.Inc()
+		s.flow.NoteReset()
+		obs.Trigger(obs.TrigReset, s.lib.H.Clk.Now(), "ECONNRESET on "+s.lib.H.Name)
 		if telemetry.Trace.Enabled() {
 			telemetry.Trace.Emit(ctx.Now(), "core", "reset",
 				telemetry.A("qid", int64(s.side.QID)), telemetry.A("dir", int64(dir)))
@@ -459,6 +497,7 @@ func (s *Socket) Close(ctx exec.Context, t *host.Thread) error {
 	if s.side.Refs.Add(-1) > 0 {
 		return nil
 	}
+	s.flow.SetState(obs.FlowClosed)
 	s.Shutdown(ctx, t, DirSend)
 	s.Shutdown(ctx, t, DirRecv)
 	return nil

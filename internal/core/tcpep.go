@@ -8,6 +8,7 @@ import (
 	"socksdirect/internal/ctlmsg"
 	"socksdirect/internal/exec"
 	"socksdirect/internal/host"
+	"socksdirect/internal/obs"
 	"socksdirect/internal/rdma"
 	"socksdirect/internal/shm"
 	"socksdirect/internal/telemetry"
@@ -347,6 +348,9 @@ func (l *Libsd) onDegraded(ctx exec.Context, m *ctlmsg.Msg) {
 	if side.Degraded.CompareAndSwap(false, true) {
 		mDegradations.Inc()
 		mTCPFallbacks.Inc()
+		any.flow.SetTransport(ctlmsg.TransportTCP)
+		any.flow.SetState(obs.FlowDegraded)
+		obs.Trigger(obs.TrigDegraded, l.H.Clk.Now(), "rescue TCP installed on "+l.H.Name)
 		if telemetry.Trace.Enabled() {
 			telemetry.Trace.Emit(l.H.Clk.Now(), "core", "degraded",
 				telemetry.A("qid", int64(m.QID)))

@@ -127,9 +127,9 @@ const (
 	StatusNoRoute
 )
 
-// Size is the fixed encoded size of a Msg (124 bytes of payload padded to
+// Size is the fixed encoded size of a Msg (148 bytes of payload padded to
 // the next 8-byte boundary so ring slots stay aligned).
-const Size = 128
+const Size = 152
 
 // Msg is the one-size-fits-all control message. Kind selects which fields
 // are meaningful; unused fields are zero.
@@ -155,6 +155,15 @@ type Msg struct {
 	Aux        uint64 // kind-specific extra
 	Host       [16]byte
 	Epoch      uint32 // monitor incarnation that stamped the message
+
+	// Causal tracing context (internal/obs). TS is the virtual-time
+	// nanosecond at which the sender enqueued the message, so the receiver
+	// can attribute queue/flight latency to this hop; TraceID/SpanID tie the
+	// message into the operation's span tree. All three are zero when the
+	// originating operation is untraced.
+	TS      int64
+	TraceID uint64
+	SpanID  uint64
 }
 
 // SetHost stores a host name (truncated to 16 bytes).
@@ -202,7 +211,10 @@ func (m *Msg) Marshal(out []byte) []byte {
 	le.PutUint64(out[96:], m.Aux)
 	copy(out[104:120], m.Host[:])
 	le.PutUint32(out[120:], m.Epoch)
-	le.PutUint32(out[124:], 0) // pad
+	le.PutUint64(out[124:], uint64(m.TS))
+	le.PutUint64(out[132:], m.TraceID)
+	le.PutUint64(out[140:], m.SpanID)
+	le.PutUint32(out[148:], 0) // pad
 	return out
 }
 
@@ -240,5 +252,8 @@ func Unmarshal(in []byte) (Msg, bool) {
 	m.Aux = le.Uint64(in[96:])
 	copy(m.Host[:], in[104:120])
 	m.Epoch = le.Uint32(in[120:])
+	m.TS = int64(le.Uint64(in[124:]))
+	m.TraceID = le.Uint64(in[132:])
+	m.SpanID = le.Uint64(in[140:])
 	return m, true
 }

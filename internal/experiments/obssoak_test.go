@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"testing"
+
+	"socksdirect/internal/obs"
+)
+
+// TestObsSmokeCrossHostTrace: a clean cross-host echo must reconstruct
+// one complete connect trace with at least 5 causally ordered hops whose
+// per-hop breakdown sums to the end-to-end latency (the telescoped
+// breakdown makes the 5% criterion exact).
+func TestObsSmokeCrossHostTrace(t *testing.T) {
+	r := ObsSmoke(20, 512)
+	if !r.Passed() {
+		t.Fatalf("obs smoke failed:\n%s", r)
+	}
+	if r.HopSumNs != r.ConnectNs {
+		t.Errorf("telescoped breakdown should be exact: sum=%d dur=%d", r.HopSumNs, r.ConnectNs)
+	}
+	// The spine must cross the monitor-to-monitor channel in both
+	// directions: SYN out, SYN-ACK back.
+	flights := 0
+	for _, h := range r.Trace.Hops {
+		if h.Hop == obs.HopMchanFlight {
+			flights++
+		}
+	}
+	if flights < 2 {
+		t.Errorf("connect spine crossed the mchan %d times, want >= 2:\n%s", flights, r.TraceText)
+	}
+}
+
+// TestObsSmokeFlows: after the smoke the flow table must list both
+// endpoints with accurate transport and byte counters.
+func TestObsSmokeFlows(t *testing.T) {
+	const rounds, chunk = 10, 256
+	r := ObsSmoke(rounds, chunk)
+	if !r.Echoed {
+		t.Fatalf("echo incomplete:\n%s", r)
+	}
+	// ObsSmoke resets obs state on entry, not exit, so the table still
+	// holds this run's flows.
+	flows := obs.Flows()
+	var cli, srv bool
+	for _, f := range flows {
+		if f.Transport != "rdma" {
+			t.Errorf("flow %s/%d/%d transport = %q, want rdma", f.Host, f.PID, f.QID, f.Transport)
+		}
+		total := int64(rounds * chunk)
+		switch f.Host {
+		case "hostA":
+			cli = true
+			if f.BytesTx != total || f.BytesRx != total {
+				t.Errorf("client flow bytes tx=%d rx=%d, want %d each", f.BytesTx, f.BytesRx, total)
+			}
+			if f.MsgsTx != int64(rounds) {
+				t.Errorf("client flow msgs tx=%d, want %d", f.MsgsTx, rounds)
+			}
+		case "hostB":
+			srv = true
+			if f.BytesTx != total || f.BytesRx != total {
+				t.Errorf("server flow bytes tx=%d rx=%d, want %d each", f.BytesTx, f.BytesRx, total)
+			}
+		}
+		if f.Resets != 0 || f.State != "established" {
+			t.Errorf("clean run flow has resets=%d state=%s", f.Resets, f.State)
+		}
+	}
+	if !cli || !srv {
+		t.Fatalf("flow table missing an endpoint: %+v", flows)
+	}
+}
+
+// TestObsRetryDrillOneDump: induced retry exhaustion must produce
+// exactly one flight-recorder dump containing the failing recovery
+// attempts' spans.
+func TestObsRetryDrillOneDump(t *testing.T) {
+	r := ObsRetryDrill(30, 1024)
+	if !r.Passed() {
+		t.Fatalf("obs retry drill failed:\n%s", r)
+	}
+}
+
+// TestCrashSoakTraceAudit: under the crash drill, every connect that
+// completed successfully must still merge into a complete trace — the
+// kills must not corrupt unrelated traces.
+func TestCrashSoakTraceAudit(t *testing.T) {
+	obs.Reset()
+	r := Crash(1, 1, 2048)
+	if !r.Passed() {
+		t.Fatalf("crash drill failed:\n%s", r)
+	}
+	connects := 0
+	for _, tv := range obs.MergeAll() {
+		if tv.Root.Op != obs.OpConnect || !tv.Root.OK {
+			continue
+		}
+		connects++
+		if tv.HopCount() < 3 {
+			t.Errorf("completed connect trace %d has only %d hops:\n%s",
+				tv.Trace, tv.HopCount(), tv.Format())
+		}
+	}
+	if connects < 2 {
+		t.Errorf("crash soak merged %d completed connect traces, want >= 2", connects)
+	}
+	// The killed pairs' survivors surfaced resets: the flow table must
+	// show them.
+	resets := int64(0)
+	for _, f := range obs.Flows() {
+		resets += f.Resets
+	}
+	if resets < 2 {
+		t.Errorf("flow table recorded %d resets, want >= 2 (one per survivor)", resets)
+	}
+	obs.Reset()
+}

@@ -18,6 +18,11 @@ var (
 	mRescues       = telemetry.C(telemetry.MonRescues)
 	mCrashCleanups = telemetry.C(telemetry.MonCrashCleanups)
 
+	// Dispatch latency, split by origin: intra = local process control
+	// rings (handle), inter = monitor-to-monitor mchan (handleRemote).
+	mDispatchIntra = telemetry.D(telemetry.MonDispatchIntra)
+	mDispatchInter = telemetry.D(telemetry.MonDispatchInter)
+
 	// Restart survivability (epochs, resurrection, inter-host liveness).
 	mEpoch           = telemetry.G(telemetry.MonEpoch)
 	mRestarts        = telemetry.C(telemetry.MonRestarts)

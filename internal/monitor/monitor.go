@@ -22,6 +22,7 @@ import (
 	"socksdirect/internal/exec"
 	"socksdirect/internal/host"
 	"socksdirect/internal/ksocket"
+	"socksdirect/internal/obs"
 	"socksdirect/internal/rdma"
 	"socksdirect/internal/shm"
 	"socksdirect/internal/telemetry"
@@ -367,6 +368,9 @@ func (m *Monitor) run(ctx exec.Context) {
 					mStaleDropped.Inc()
 					continue
 				}
+				// Queue hop: sender enqueue (cm.TS) to this dequeue.
+				cm.SpanID = obs.RecordHop(m.H.Name, 0, obs.HopProcRing,
+					uint8(cm.Kind), cm.TraceID, cm.SpanID, cm.TS, ctx.Now())
 				m.handle(ctx, pc, &cm)
 			}
 		}
@@ -385,6 +389,9 @@ func (m *Monitor) run(ctx exec.Context) {
 					mStaleDropped.Inc()
 					continue
 				}
+				// Flight hop: peer monitor's mchan post (cm.TS) to here.
+				cm.SpanID = obs.RecordHop(m.H.Name, 0, obs.HopMchanFlight,
+					uint8(cm.Kind), cm.TraceID, cm.SpanID, cm.TS, ctx.Now())
 				m.handleRemote(ctx, mc, cm)
 			}
 		}
@@ -444,6 +451,9 @@ func (m *Monitor) sendTo(ctx exec.Context, pid int, cm *ctlmsg.Msg, signal bool)
 		return
 	}
 	cm.Epoch = m.epoch // everything we say is stamped with our incarnation
+	if cm.TraceID != 0 {
+		cm.TS = ctx.Now() // queue-hop start for the receiver's span
+	}
 	var buf [ctlmsg.Size]byte
 	b := cm.Marshal(buf[:])
 	for !pc.d.B().TX.TrySend(0, 0, b) {
@@ -659,6 +669,32 @@ func (m *Monitor) handle(ctx exec.Context, pc *procChan, cm *ctlmsg.Msg) {
 		telemetry.Trace.Emit(ctx.Now(), "monitor", "ctl/"+cm.Kind.String(),
 			telemetry.A("pid", cm.PID))
 	}
+	start := ctx.Now()
+	trace, parent := cm.TraceID, cm.SpanID
+	var sid uint64
+	if trace != 0 && obs.Enabled() {
+		// Allocate the dispatch span up front so messages sent from inside
+		// the handler parent to it, then record it once the duration is known.
+		sid = obs.NextSpan()
+		cm.SpanID = sid
+	}
+	kind := uint8(cm.Kind)
+	m.dispatch(ctx, pc, cm)
+	end := ctx.Now()
+	mDispatchIntra.Observe(end - start)
+	if sid != 0 {
+		obs.Record(obs.Span{
+			Trace: trace, Span: sid, Parent: parent, Start: start, End: end,
+			Host: m.H.Name, Hop: obs.HopMonDispatch, Kind: kind,
+		})
+	}
+	if slo := obs.SLO(); slo > 0 && end-start > slo {
+		obs.Trigger(obs.TrigSLOBreach, end, "monitor dispatch over SLO: "+ctlmsg.Kind(kind).String())
+	}
+}
+
+// dispatch is handle's routing switch, split out so handle can time it.
+func (m *Monitor) dispatch(ctx exec.Context, pc *procChan, cm *ctlmsg.Msg) {
 	switch cm.Kind {
 	case ctlmsg.KListen:
 		m.onListen(ctx, pc, cm)
@@ -735,6 +771,9 @@ func (m *Monitor) handle(ctx exec.Context, pc *procChan, cm *ctlmsg.Msg) {
 // still launched so the retry finds a working channel.
 func (m *Monitor) mchanSend(ctx exec.Context, dst string, cm *ctlmsg.Msg, queue bool) {
 	cm.Epoch = m.epoch
+	if cm.TraceID != 0 {
+		cm.TS = ctx.Now() // flight-hop start for the peer monitor's span
+	}
 	m.mu.Lock()
 	mc := m.mchans[dst]
 	if mc != nil && mc.qp.State() == rdma.QPErr {
@@ -781,6 +820,30 @@ func (m *Monitor) handleRemote(ctx exec.Context, mc *mchan, cm *ctlmsg.Msg) {
 		telemetry.Trace.Emit(ctx.Now(), "monitor", "remote/"+cm.Kind.String(),
 			telemetry.A("port", int64(cm.Port)))
 	}
+	start := ctx.Now()
+	trace, parent := cm.TraceID, cm.SpanID
+	var sid uint64
+	if trace != 0 && obs.Enabled() {
+		sid = obs.NextSpan()
+		cm.SpanID = sid
+	}
+	kind := uint8(cm.Kind)
+	m.dispatchRemote(ctx, mc, cm)
+	end := ctx.Now()
+	mDispatchInter.Observe(end - start)
+	if sid != 0 {
+		obs.Record(obs.Span{
+			Trace: trace, Span: sid, Parent: parent, Start: start, End: end,
+			Host: m.H.Name, Hop: obs.HopPeerDispatch, Kind: kind,
+		})
+	}
+	if slo := obs.SLO(); slo > 0 && end-start > slo {
+		obs.Trigger(obs.TrigSLOBreach, end, "monitor dispatch over SLO: "+ctlmsg.Kind(kind).String())
+	}
+}
+
+// dispatchRemote is handleRemote's routing switch.
+func (m *Monitor) dispatchRemote(ctx exec.Context, mc *mchan, cm *ctlmsg.Msg) {
 	switch cm.Kind {
 	case ctlmsg.KMSyn:
 		m.mu.Lock()
@@ -793,7 +856,8 @@ func (m *Monitor) handleRemote(ctx exec.Context, mc *mchan, cm *ctlmsg.Msg) {
 		}
 		ref, ok := m.pickListener(cm.Port)
 		if !ok {
-			r := ctlmsg.Msg{Kind: ctlmsg.KMRefused, ConnID: cm.ConnID, Epoch: m.epoch}
+			r := ctlmsg.Msg{Kind: ctlmsg.KMRefused, ConnID: cm.ConnID, Epoch: m.epoch,
+				TS: ctx.Now(), TraceID: cm.TraceID, SpanID: cm.SpanID}
 			mc.send(&r)
 			return
 		}
@@ -826,7 +890,7 @@ func (m *Monitor) handleRemote(ctx exec.Context, mc *mchan, cm *ctlmsg.Msg) {
 		entry := m.remotePend[cm.ConnID]
 		delete(m.remotePend, cm.ConnID)
 		m.mu.Unlock()
-		m.fail(ctx, entry.clientPID, cm.ConnID, ctlmsg.StatusNoListener)
+		m.fail(ctx, entry.clientPID, cm, ctlmsg.StatusNoListener)
 	case ctlmsg.KReQPPeer:
 		m.mu.Lock()
 		owner := m.connOwner[cm.QID]
@@ -949,7 +1013,7 @@ func (m *Monitor) onConnect(ctx exec.Context, pc *procChan, cm *ctlmsg.Msg) {
 	allowed := m.policy(pc.p.UID, dst, cm.Port)
 	m.mu.Unlock()
 	if !allowed {
-		m.fail(ctx, pc.p.PID, cm.ConnID, ctlmsg.StatusDenied)
+		m.fail(ctx, pc.p.PID, cm, ctlmsg.StatusDenied)
 		return
 	}
 	m.mu.Lock()
@@ -992,6 +1056,9 @@ func (m *Monitor) connectRemote(ctx exec.Context, cm *ctlmsg.Msg) {
 		fwd := *cm
 		fwd.Kind = ctlmsg.KMSyn
 		fwd.Epoch = m.epoch
+		if fwd.TraceID != 0 {
+			fwd.TS = ctx.Now()
+		}
 		fwd.SetHost(m.H.Name) // origin (unused by the peer; it trusts the channel)
 		mc.send(&fwd)
 		return
@@ -1010,15 +1077,16 @@ func (m *Monitor) connectRemote(ctx exec.Context, cm *ctlmsg.Msg) {
 	}
 }
 
-func (m *Monitor) fail(ctx exec.Context, pid int, connID uint64, status uint8) {
-	res := ctlmsg.Msg{Kind: ctlmsg.KConnectRes, ConnID: connID, Status: status}
+func (m *Monitor) fail(ctx exec.Context, pid int, cm *ctlmsg.Msg, status uint8) {
+	res := ctlmsg.Msg{Kind: ctlmsg.KConnectRes, ConnID: cm.ConnID, Status: status,
+		TraceID: cm.TraceID, SpanID: cm.SpanID}
 	m.sendTo(ctx, pid, &res, false)
 }
 
 func (m *Monitor) dispatchIntra(ctx exec.Context, pc *procChan, cm *ctlmsg.Msg) {
 	ref, ok := m.pickListener(cm.Port)
 	if !ok {
-		m.fail(ctx, pc.p.PID, cm.ConnID, ctlmsg.StatusNoListener)
+		m.fail(ctx, pc.p.PID, cm, ctlmsg.StatusNoListener)
 		return
 	}
 	is := core.NewIntraSock(cm.ConnID, sockRingCap)
@@ -1034,13 +1102,15 @@ func (m *Monitor) dispatchIntra(ctx exec.Context, pc *procChan, cm *ctlmsg.Msg) 
 		Kind: ctlmsg.KNewConn, ConnID: cm.ConnID, Port: cm.Port,
 		Transport: ctlmsg.TransportSHM, ShmToken: uint64(seg.Token),
 		PID: cm.PID, TID: int64(ref.tid),
+		TraceID: cm.TraceID, SpanID: cm.SpanID,
 	}
 	m.sendTo(ctx, ref.pid, &nc, true)
 
 	res := ctlmsg.Msg{
 		Kind: ctlmsg.KConnectRes, ConnID: cm.ConnID, Status: ctlmsg.StatusOK,
 		Transport: ctlmsg.TransportSHM, ShmToken: uint64(seg.Token),
-		PID: int64(ref.pid),
+		PID:     int64(ref.pid),
+		TraceID: cm.TraceID, SpanID: cm.SpanID,
 	}
 	m.sendTo(ctx, pc.p.PID, &res, false)
 }

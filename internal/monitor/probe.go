@@ -167,14 +167,14 @@ func (m *Monitor) finishProbes(ctx exec.Context, dst string, pr probeResult) {
 		}
 	case probeRST:
 		if len(queued) > 0 {
-			m.fail(ctx, int(queued[0].PID), queued[0].ConnID, ctlmsg.StatusNoListener)
+			m.fail(ctx, int(queued[0].PID), queued[0], ctlmsg.StatusNoListener)
 			for _, cm := range queued[1:] {
 				m.dialFallback(cm, dst)
 			}
 		}
 	default: // timeout / unreachable
 		for _, cm := range queued {
-			m.fail(ctx, int(cm.PID), cm.ConnID, ctlmsg.StatusNoRoute)
+			m.fail(ctx, int(cm.PID), cm, ctlmsg.StatusNoRoute)
 		}
 	}
 }
@@ -192,7 +192,7 @@ func queuedPort(queued []*ctlmsg.Msg) uint16 {
 func (m *Monitor) repairInto(ctx exec.Context, cm *ctlmsg.Msg, dst string, sport uint16, synSeq uint64) {
 	conn, err := m.KS.TCP().Repair(sport, dst, cm.Port, 1, synSeq+1)
 	if err != nil {
-		m.fail(ctx, int(cm.PID), cm.ConnID, ctlmsg.StatusNoRoute)
+		m.fail(ctx, int(cm.PID), cm, ctlmsg.StatusNoRoute)
 		return
 	}
 	p := m.H.Process(int(cm.PID))
@@ -212,10 +212,11 @@ func (m *Monitor) repairInto(ctx exec.Context, cm *ctlmsg.Msg, dst string, sport
 // (the daemon must not block) and hands it to the client.
 func (m *Monitor) dialFallback(cm *ctlmsg.Msg, dst string) {
 	connID, pid, port := cm.ConnID, int(cm.PID), cm.Port
+	fcm := *cm // the daemon may recycle cm before the helper runs
 	m.H.RT.Spawn(m.H.Name+"/mon-dial", func(ctx exec.Context) {
 		sk, err := m.KS.Dial(ctx, dst, port)
 		if err != nil {
-			m.fail(ctx, pid, connID, ctlmsg.StatusNoListener)
+			m.fail(ctx, pid, &fcm, ctlmsg.StatusNoListener)
 			return
 		}
 		p := m.H.Process(pid)

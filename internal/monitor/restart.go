@@ -6,6 +6,7 @@ import (
 	"socksdirect/internal/ctlmsg"
 	"socksdirect/internal/exec"
 	"socksdirect/internal/host"
+	"socksdirect/internal/obs"
 	"socksdirect/internal/shm"
 )
 
@@ -49,6 +50,7 @@ func Restart(h *host.Host) *Monitor {
 	}
 	m.mu.Unlock()
 	mRestarts.Inc()
+	obs.Trigger(obs.TrigMonitorRestart, h.Clk.Now(), "monitor restart: "+h.Name)
 	m.wake()
 	return m
 }
@@ -70,8 +72,10 @@ func (m *Monitor) reRegister(ctx exec.Context, pid int) {
 			}
 		})
 	}
-	rm := ctlmsg.Msg{Kind: ctlmsg.KReRegister}
+	op := obs.BeginOp(m.H.Name, 0, obs.OpReRegister, ctx.Now())
+	rm := ctlmsg.Msg{Kind: ctlmsg.KReRegister, TraceID: op.Trace, SpanID: op.Span}
 	m.sendTo(ctx, pid, &rm, true)
+	op.End(ctx.Now(), true)
 }
 
 // onReRegistered consumes one record of a process's re-registration

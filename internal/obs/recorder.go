@@ -1,0 +1,290 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"socksdirect/internal/telemetry"
+)
+
+var (
+	mDumps     = telemetry.C(telemetry.ObsDumps)
+	mTriggers  = telemetry.C(telemetry.ObsTriggers)
+	mSLOBreach = telemetry.C(telemetry.ObsSLOBreach)
+)
+
+// TrigReason says why the flight recorder dumped.
+type TrigReason uint8
+
+// Flight-recorder trigger reasons.
+const (
+	TrigReset           TrigReason = iota + 1 // ECONNRESET surfaced on a socket
+	TrigRetryExhaustion                       // recovery budget exhausted (§4.5.3 fallback)
+	TrigQPRecovery                            // a QP recovery completed
+	TrigDegraded                              // rescue TCP installed
+	TrigMonitorRestart                        // monitor came back in a new epoch
+	TrigSLOBreach                             // monitor dispatch exceeded the SLO
+	TrigManual                                // ForceDump from a soak driver or CLI
+)
+
+var trigNames = [...]string{
+	TrigReset:           "reset",
+	TrigRetryExhaustion: "retry_exhaustion",
+	TrigQPRecovery:      "qp_recovery",
+	TrigDegraded:        "degraded",
+	TrigMonitorRestart:  "monitor_restart",
+	TrigSLOBreach:       "slo_breach",
+	TrigManual:          "manual",
+}
+
+// String returns the reason's stable lower-case name.
+func (t TrigReason) String() string {
+	if int(t) < len(trigNames) && trigNames[t] != "" {
+		return trigNames[t]
+	}
+	return "unknown"
+}
+
+// Dump is one flight-recorder artifact: everything the rings and the
+// flow table held at trigger time.
+type Dump struct {
+	Reason TrigReason     `json:"-"`
+	Name   string         `json:"reason"`
+	At     int64          `json:"at_ns"` // virtual time of the trigger
+	Note   string         `json:"note"`
+	Spans  []Span         `json:"spans"`
+	Flows  []FlowSnapshot `json:"flows"`
+}
+
+// DefaultCooldown spaces dumps apart: cascading anomalies (retry
+// exhaustion immediately followed by degradation) produce one artifact,
+// not a stampede.
+const DefaultCooldown = 50_000_000 // 50 ms virtual
+
+var recorder struct {
+	mu       sync.Mutex
+	sink     func(Dump)
+	dumpDir  string
+	lastDump int64 // virtual time of the last dump; -1 = never
+	armed    atomic.Bool
+	cooldown atomic.Int64
+	sloNs    atomic.Int64
+}
+
+func init() {
+	recorder.lastDump = -1
+	recorder.armed.Store(true)
+	recorder.cooldown.Store(DefaultCooldown)
+}
+
+// SetSLO sets the monitor-dispatch latency SLO in virtual nanoseconds;
+// zero disables the SLO trigger.
+func SetSLO(ns int64) { recorder.sloNs.Store(ns) }
+
+// SLO returns the configured dispatch SLO (0 = disabled).
+func SLO() int64 { return recorder.sloNs.Load() }
+
+// SetCooldown sets the minimum virtual-time gap between dumps.
+func SetCooldown(ns int64) { recorder.cooldown.Store(ns) }
+
+// SetArmed enables or disables anomaly-triggered dumps (ForceDump still
+// works). Soaks that induce faults on purpose disarm the recorder for
+// their warm-up, then re-arm.
+func SetArmed(v bool) { recorder.armed.Store(v) }
+
+// SetSink routes dumps to fn instead of (or in addition to) the dump
+// directory. Tests use it to observe dumps in-process.
+func SetSink(fn func(Dump)) {
+	recorder.mu.Lock()
+	recorder.sink = fn
+	recorder.mu.Unlock()
+}
+
+// SetDumpDir makes the recorder write each dump to
+// <dir>/sd-flight-<reason>-<at>.trace.json (Chrome trace format).
+// Empty disables file output.
+func SetDumpDir(dir string) {
+	recorder.mu.Lock()
+	recorder.dumpDir = dir
+	recorder.mu.Unlock()
+}
+
+// Trigger reports an anomaly at virtual time now. If the recorder is
+// armed and outside the cooldown window it captures and delivers a dump;
+// the return value says whether a dump was produced.
+func Trigger(reason TrigReason, now int64, note string) bool {
+	mTriggers.Inc()
+	if reason == TrigSLOBreach {
+		mSLOBreach.Inc()
+	}
+	if !recorder.armed.Load() {
+		return false
+	}
+	recorder.mu.Lock()
+	cd := recorder.cooldown.Load()
+	if recorder.lastDump >= 0 && now-recorder.lastDump < cd {
+		recorder.mu.Unlock()
+		return false
+	}
+	recorder.lastDump = now
+	recorder.mu.Unlock()
+	deliver(capture(reason, now, note))
+	return true
+}
+
+// ForceDump captures and delivers a dump unconditionally (soak drivers
+// call it when an assertion fails, so the failure ships its own
+// evidence). The dump is also returned for in-process inspection.
+func ForceDump(reason TrigReason, now int64, note string) Dump {
+	d := capture(reason, now, note)
+	deliver(d)
+	return d
+}
+
+func capture(reason TrigReason, now int64, note string) Dump {
+	spans := AllSpans()
+	sort.Slice(spans, func(i, j int) bool {
+		if spans[i].Start != spans[j].Start {
+			return spans[i].Start < spans[j].Start
+		}
+		return spans[i].Span < spans[j].Span
+	})
+	return Dump{
+		Reason: reason, Name: reason.String(), At: now, Note: note,
+		Spans: spans, Flows: Flows(),
+	}
+}
+
+func deliver(d Dump) {
+	mDumps.Inc()
+	recorder.mu.Lock()
+	sink := recorder.sink
+	dir := recorder.dumpDir
+	recorder.mu.Unlock()
+	if sink != nil {
+		sink(d)
+	}
+	if dir != "" {
+		name := fmt.Sprintf("sd-flight-%s-%d.trace.json", d.Name, d.At)
+		if f, err := os.Create(filepath.Join(dir, name)); err == nil {
+			_ = d.WriteChrome(f)
+			_ = f.Close()
+		}
+	}
+}
+
+// resetRecorder restores defaults (called from Reset).
+func resetRecorder() {
+	recorder.mu.Lock()
+	recorder.sink = nil
+	recorder.dumpDir = ""
+	recorder.lastDump = -1
+	recorder.mu.Unlock()
+	recorder.armed.Store(true)
+	recorder.cooldown.Store(DefaultCooldown)
+	recorder.sloNs.Store(0)
+}
+
+// WriteJSON serializes the dump as plain JSON (sdstat -json, CI diffs).
+func (d *Dump) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(d); err != nil {
+		return fmt.Errorf("obs: write dump: %w", err)
+	}
+	return nil
+}
+
+// chromeSpan is one "X" (complete) event of the Chrome trace_event
+// format; each (host, pid) gets its own track via metadata events.
+type chromeSpan struct {
+	Name  string            `json:"name"`
+	Cat   string            `json:"cat"`
+	Phase string            `json:"ph"`
+	TS    float64           `json:"ts"`  // microseconds
+	Dur   float64           `json:"dur"` // microseconds
+	PID   int               `json:"pid"`
+	TID   int               `json:"tid"`
+	Args  map[string]uint64 `json:"args,omitempty"`
+}
+
+type chromeMeta struct {
+	Name  string            `json:"name"`
+	Phase string            `json:"ph"`
+	PID   int               `json:"pid"`
+	TID   int               `json:"tid"`
+	Args  map[string]string `json:"args"`
+}
+
+// WriteChrome serializes the dump's spans as Chrome trace_event JSON
+// (open in chrome://tracing or Perfetto): one track per (host, process),
+// spans as complete events with trace/span IDs in args. The flow table
+// rides along as instant events at the dump timestamp.
+func (d *Dump) WriteChrome(w io.Writer) error {
+	type track struct {
+		host string
+		pid  int64
+	}
+	tids := map[track]int{}
+	for _, sp := range d.Spans {
+		k := track{sp.Host, sp.PID}
+		if _, ok := tids[k]; !ok {
+			tids[k] = 0
+		}
+	}
+	keys := make([]track, 0, len(tids))
+	for k := range tids {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].host != keys[j].host {
+			return keys[i].host < keys[j].host
+		}
+		return keys[i].pid < keys[j].pid
+	})
+	out := make([]any, 0, len(d.Spans)+len(keys))
+	for i, k := range keys {
+		tids[k] = i + 1
+		name := fmt.Sprintf("%s/pid%d", k.host, k.pid)
+		if k.pid == 0 {
+			name = k.host + "/monitor"
+		}
+		out = append(out, chromeMeta{
+			Name: "thread_name", Phase: "M", PID: 1, TID: i + 1,
+			Args: map[string]string{"name": name},
+		})
+	}
+	for _, sp := range d.Spans {
+		name := sp.Hop.String()
+		if sp.Hop == HopApp {
+			name = "op:" + sp.Op.String()
+		}
+		out = append(out, chromeSpan{
+			Name: name, Cat: "obs", Phase: "X",
+			TS:  float64(sp.Start) / 1e3,
+			Dur: float64(sp.End-sp.Start) / 1e3,
+			PID: 1, TID: tids[track{sp.Host, sp.PID}],
+			Args: map[string]uint64{
+				"trace": sp.Trace, "span": sp.Span, "parent": sp.Parent,
+				"kind": uint64(sp.Kind),
+			},
+		})
+	}
+	enc := json.NewEncoder(w)
+	doc := struct {
+		TraceEvents []any  `json:"traceEvents"`
+		Unit        string `json:"displayTimeUnit"`
+		Reason      string `json:"reason"`
+		Note        string `json:"note"`
+	}{TraceEvents: out, Unit: "ns", Reason: d.Name, Note: d.Note}
+	if err := enc.Encode(doc); err != nil {
+		return fmt.Errorf("obs: write chrome trace: %w", err)
+	}
+	return nil
+}

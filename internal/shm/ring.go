@@ -64,6 +64,7 @@ type Ring struct {
 	// sender-local
 	written    uint64
 	creditSeen uint64
+	occHW      uint64 // high-water of (written - creditSeen), for sdstat
 	_          cpad
 
 	// receiver-local
@@ -164,9 +165,19 @@ func (r *Ring) TrySendV(typ, flags uint8, a, b []byte) bool {
 	mMsgsSent.Inc()
 	mBytesSent.Add(int64(n))
 	mMsgSize.Observe(int64(n))
-	mOccupancy.Set(int64(r.written - r.creditSeen)) // sender-side occupancy view
+	occ := r.written - r.creditSeen
+	mOccupancy.Set(int64(occ)) // sender-side occupancy view
+	if occ > r.occHW {
+		r.occHW = occ
+	}
 	return true
 }
+
+// OccHW returns the highest sender-side occupancy (bytes in flight between
+// the two cores) this ring has seen. Sender-local and unsynchronized: a
+// concurrent reader gets a recent, not necessarily latest, value — fine
+// for the sdstat snapshot it feeds.
+func (r *Ring) OccHW() uint64 { return r.occHW }
 
 // TryRecv dequeues one message. The returned payload aliases ring memory
 // and is valid until the next TryRecv call.

@@ -73,6 +73,20 @@ const (
 	MonRescues       = "sd/monitor/rescues"
 	MonCrashCleanups = "sd/monitor/crash_cleanups"
 
+	// monitor dispatch latency, split by message origin: intra = messages
+	// dequeued from a local process control ring (handle), inter = messages
+	// arriving over the monitor-to-monitor mchan (handleRemote). ROADMAP
+	// item 1 (sharded monitor) needs the two regimes separated.
+	MonDispatchIntra = "sd/monitor/dispatch_ns/intra" // distribution, ns
+	MonDispatchInter = "sd/monitor/dispatch_ns/inter" // distribution, ns
+
+	// causal op-tracing + flight recorder (internal/obs).
+	ObsSpans     = "sd/obs/spans"      // spans recorded across all rings
+	ObsDropped   = "sd/obs/dropped"    // spans overwritten after a ring filled
+	ObsDumps     = "sd/obs/dumps"      // flight-recorder dumps written
+	ObsTriggers  = "sd/obs/triggers"   // anomaly triggers observed (incl. suppressed)
+	ObsSLOBreach = "sd/obs/slo_breach" // monitor dispatch SLO breaches
+
 	// monitor restart survivability (epochs, resurrection, liveness).
 	MonEpoch           = "sd/monitor/epoch" // gauge: current incarnation number
 	MonRestarts        = "sd/monitor/restarts"
