@@ -213,6 +213,32 @@ func BenchmarkRingSendRecv1KiB(b *testing.B) {
 	}
 }
 
+// --- vectored op path (SendBatch/RecvBatch) ---
+
+// BenchmarkBurstPingPong runs the whole-stack batched workload from the
+// BENCH suite (32 messages per batch, 64 B each) and reports its
+// virtual-time metrics; allocs/op here covers the testing.B loop, while
+// the steady-state per-message number is the entry's AllocsPerOp.
+func BenchmarkBurstPingPong_Intra32x64B(b *testing.B) {
+	b.ReportAllocs()
+	var e experiments.BenchEntry
+	for i := 0; i < b.N; i++ {
+		e = experiments.BurstPingPong("sd_intra_burst_32x64B", 32, 64, true, 200)
+	}
+	b.ReportMetric(e.MsgsPerSec/1e6, "virt-Mmsg/s")
+	b.ReportMetric(e.AllocsPerOp, "steady-allocs/msg")
+}
+
+func BenchmarkBurstPingPong_Inter32x64B(b *testing.B) {
+	b.ReportAllocs()
+	var e experiments.BenchEntry
+	for i := 0; i < b.N; i++ {
+		e = experiments.BurstPingPong("sd_inter_burst_32x64B", 32, 64, false, 200)
+	}
+	b.ReportMetric(e.MsgsPerSec/1e6, "virt-Mmsg/s")
+	b.ReportMetric(e.AllocsPerOp, "steady-allocs/msg")
+}
+
 func BenchmarkQPWrite1KiB(b *testing.B) {
 	s := exec.NewSim(exec.SimConfig{})
 	clk := s.Clock()

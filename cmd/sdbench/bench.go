@@ -11,19 +11,32 @@ import (
 )
 
 // benchCmd runs the continuous-benchmark suite and writes a
-// schema-versioned BENCH_<timestamp>.json report.
+// schema-versioned BENCH_<timestamp>.json report. With -json the same
+// report is also emitted on stdout, and stdout carries nothing else —
+// the table and the "wrote ..." note move to stderr so a pipeline can
+// unmarshal the stream directly.
 func benchCmd(args []string) {
 	fs := flag.NewFlagSet("bench", flag.ExitOnError)
 	short := fs.Bool("short", false, "CI smoke mode: ~10x fewer messages per workload")
 	out := fs.String("o", "", "output path (default BENCH_<timestamp>.json)")
+	asJSON := fs.Bool("json", false, "emit the report JSON on stdout (all other output moves to stderr)")
 	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: sdbench bench [-short] [-o out.json]")
+		fmt.Fprintln(os.Stderr, "usage: sdbench bench [-short] [-json] [-o out.json]")
 		fs.PrintDefaults()
 	}
 	fs.Parse(args)
 	if fs.NArg() != 0 {
 		fs.Usage()
 		os.Exit(2)
+	}
+
+	stdout := os.Stdout
+	if *asJSON {
+		// Keep stdout pure JSON: anything the suite or this command prints
+		// via fmt.Print* goes to stderr instead (fmt resolves os.Stdout at
+		// each call, so the swap covers the whole run).
+		os.Stdout = os.Stderr
+		defer func() { os.Stdout = stdout }()
 	}
 
 	rep := experiments.RunBenchSuite(*short)
@@ -55,16 +68,25 @@ func benchCmd(args []string) {
 			e.AllocsPerOp, e.BytesPerOp, clock)
 	}
 	fmt.Printf("wrote %s (schema %s, short=%v)\n", path, rep.Schema, rep.Short)
+	if *asJSON {
+		stdout.Write(data)
+	}
 }
 
 // compareCmd diffs two BENCH reports and exits 1 if the newer one
-// regresses past the threshold (CI gate).
+// regresses past the threshold (CI gate). -allocs-only restricts the
+// gate to allocs/op with an absolute slack, for the zero-alloc gate.
+// All human-readable output goes to stderr; stdout stays empty unless
+// -json asks for the machine-readable verdict.
 func compareCmd(args []string) {
 	fs := flag.NewFlagSet("compare", flag.ExitOnError)
 	threshold := fs.Float64("threshold", 0.30, "relative regression threshold (0.30 = 30%)")
 	all := fs.Bool("all", false, "also compare timing of wall-clock (machine-dependent) entries")
+	allocsOnly := fs.Bool("allocs-only", false, "gate only allocs/op, with an absolute slack (-alloc-slack)")
+	allocSlack := fs.Float64("alloc-slack", 0.05, "allowed absolute allocs/op increase with -allocs-only")
+	asJSON := fs.Bool("json", false, "emit the comparison verdict as JSON on stdout")
 	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: sdbench compare [-threshold 0.30] [-all] baseline.json current.json")
+		fmt.Fprintln(os.Stderr, "usage: sdbench compare [-threshold 0.30] [-all] [-allocs-only [-alloc-slack 0.05]] [-json] baseline.json current.json")
 		fs.PrintDefaults()
 	}
 	fs.Parse(args)
@@ -75,14 +97,40 @@ func compareCmd(args []string) {
 	baseline := loadBench(fs.Arg(0))
 	current := loadBench(fs.Arg(1))
 
-	regs, err := experiments.CompareBench(baseline, current, *threshold, *all)
+	var regs []experiments.BenchRegression
+	var err error
+	if *allocsOnly {
+		regs, err = experiments.CompareBenchAllocs(baseline, current, *allocSlack)
+	} else {
+		regs, err = experiments.CompareBench(baseline, current, *threshold, *all)
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "compare: %v\n", err)
 		os.Exit(2)
 	}
+	if *asJSON {
+		verdict := struct {
+			OK          bool                          `json:"ok"`
+			Regressions []experiments.BenchRegression `json:"regressions"`
+		}{OK: len(regs) == 0, Regressions: regs}
+		if verdict.Regressions == nil {
+			verdict.Regressions = []experiments.BenchRegression{}
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(verdict); err != nil {
+			fmt.Fprintf(os.Stderr, "compare: %v\n", err)
+			os.Exit(2)
+		}
+	}
 	if len(regs) == 0 {
-		fmt.Printf("compare: %d entries within %.0f%% of baseline\n",
-			len(baseline.Entries), *threshold*100)
+		if *allocsOnly {
+			fmt.Fprintf(os.Stderr, "compare: %d entries within +%.2f allocs/op of baseline\n",
+				len(baseline.Entries), *allocSlack)
+		} else {
+			fmt.Fprintf(os.Stderr, "compare: %d entries within %.0f%% of baseline\n",
+				len(baseline.Entries), *threshold*100)
+		}
 		return
 	}
 	for _, r := range regs {

@@ -37,12 +37,18 @@
 //	sdbench stats [-json] [experiment...]
 //	                    run the experiments (default: table2) and dump the
 //	                    full telemetry registry afterwards
-//	sdbench bench [-short] [-o out.json]
+//	sdbench bench [-short] [-json] [-o out.json]
 //	                    continuous-benchmark suite: writes a schema-versioned
-//	                    BENCH_<timestamp>.json (msgs/sec, p50/p99, allocs/op)
-//	sdbench compare [-threshold 0.30] [-all] baseline.json current.json
+//	                    BENCH_<timestamp>.json (msgs/sec, p50/p99, allocs/op);
+//	                    -json echoes the report on stdout with everything
+//	                    else on stderr (stdout is unmarshalable as-is)
+//	sdbench compare [-threshold 0.30] [-all] [-allocs-only [-alloc-slack 0.05]]
+//	                    [-json] baseline.json current.json
 //	                    diff two BENCH reports; exit 1 on regression past the
-//	                    threshold (the CI gate; see EXPERIMENTS.md)
+//	                    threshold (the CI gate; see EXPERIMENTS.md).
+//	                    -allocs-only gates allocs/op alone with an absolute
+//	                    slack (the zero-alloc gate); human output goes to
+//	                    stderr, -json puts the verdict JSON on stdout
 //
 // Flags (before the subcommand):
 //

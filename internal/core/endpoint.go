@@ -31,6 +31,17 @@ type endpoint interface {
 	progress(ctx exec.Context)
 }
 
+// burster is the optional batched side of an endpoint: between burstBegin
+// and burstEnd, trySend stages messages without publishing them (SHM: no
+// tail store; RDMA: no doorbell), and tryRecvN dequeues many messages per
+// ring touch. The kernel-TCP fallback endpoint has neither — the batch
+// path degrades to per-message calls there.
+type burster interface {
+	burstBegin()
+	burstEnd(ctx exec.Context)
+	tryRecvN(ctx exec.Context, out []shm.Msg) int
+}
+
 // creditPoster mirrors a receiver's credit return into the peer sender's
 // view (an RDMA write, or a frame on the degraded TCP path).
 type creditPoster interface {
@@ -53,7 +64,19 @@ type shmEP struct {
 
 func (e *shmEP) trySend(ctx exec.Context, typ uint8, a, b []byte) bool {
 	ctx.Charge(e.lib.H.Costs.RingOp)
-	return e.side.TX.TrySendV(typ, 0, a, b)
+	if e.side.TX.TrySendV(typ, 0, a, b) {
+		return true
+	}
+	if e.side.TX.InBurst() {
+		// Full ring mid-burst: the staged messages are invisible to the
+		// receiver (tail unpublished), so blocking for space would wait on
+		// a peer that cannot drain. Publish and wake it, then resume the
+		// burst once space frees.
+		e.side.TX.EndBurst()
+		e.kick(ctx)
+		e.side.TX.BeginBurst()
+	}
+	return false
 }
 
 func (e *shmEP) tryRecv(ctx exec.Context) (shm.Msg, bool) {
@@ -76,6 +99,15 @@ func (e *shmEP) kick(ctx exec.Context) {
 }
 
 func (e *shmEP) progress(ctx exec.Context) {}
+
+func (e *shmEP) burstBegin() { e.side.TX.BeginBurst() }
+
+func (e *shmEP) burstEnd(ctx exec.Context) { e.side.TX.EndBurst() }
+
+func (e *shmEP) tryRecvN(ctx exec.Context, out []shm.Msg) int {
+	ctx.Charge(e.lib.H.Costs.RingOp) // one ring touch for the whole pop
+	return e.side.RX.TryRecvN(out)
+}
 
 func (e *shmEP) peerAlive() bool {
 	pid := e.side.PeerPID.Load()
@@ -106,6 +138,11 @@ type rdmaEP struct {
 	batching    bool // false disables adaptive batching (SD-unopt ablation)
 	peerDeadFlg atomic.Bool
 
+	// burst suppresses the per-message flush between burstBegin and
+	// burstEnd so a whole SendBatch rides one doorbell. Atomic because the
+	// completion pump (onSendCQE -> flush) may run on another thread.
+	burst atomic.Bool
+
 	// failed latches when the QP dies (retry exhaustion, flush). The data
 	// path keeps accepting sends into the local ring copy (§4.2: the TX
 	// ring IS the retransmit buffer) while the recovery state machine in
@@ -127,8 +164,19 @@ func (e *rdmaEP) trySend(ctx exec.Context, typ uint8, a, b []byte) bool {
 		// Stale credits? The peer returns them by writing our CreditIn.
 		e.refreshCredit()
 		if !e.side.TX.TrySendV(typ, 0, a, b) {
+			if e.burst.Load() {
+				// A burst defers the doorbell, but a full ring means the
+				// peer must drain before we can stage more: push what is
+				// coalesced so credits can come back.
+				e.side.TX.EndBurst()
+				e.flush(ctx)
+				e.side.TX.BeginBurst()
+			}
 			return false
 		}
+	}
+	if e.burst.Load() {
+		return true // burstEnd rings the doorbell for the whole batch
 	}
 	// Adaptive batching: send immediately while the pipeline is shallow,
 	// otherwise leave the bytes for the next completion to flush.
@@ -136,6 +184,23 @@ func (e *rdmaEP) trySend(ctx exec.Context, typ uint8, a, b []byte) bool {
 		e.flush(ctx)
 	}
 	return true
+}
+
+func (e *rdmaEP) burstBegin() {
+	e.burst.Store(true)
+	e.side.TX.BeginBurst()
+}
+
+func (e *rdmaEP) burstEnd(ctx exec.Context) {
+	e.side.TX.EndBurst()
+	e.burst.Store(false)
+	e.flush(ctx) // one doorbell for everything the burst staged
+}
+
+func (e *rdmaEP) tryRecvN(ctx exec.Context, out []shm.Msg) int {
+	e.lib.pump(ctx)
+	ctx.Charge(e.lib.H.Costs.RingOp)
+	return e.side.RX.TryRecvN(out)
 }
 
 func (e *rdmaEP) refreshCredit() {
@@ -172,9 +237,14 @@ func (e *rdmaEP) flush(ctx exec.Context) {
 	if start+delta <= capacity {
 		e.qp.PostWrite(wrData, ring.Data()[start:start+delta], e.ringRKey, int64(start), imm, true)
 	} else {
+		// Wrapped region: both writes chain behind one doorbell so the
+		// NIC sees a single posting (and arms one RTO) for the flush.
 		first := capacity - start
-		e.qp.PostWrite(wrData, ring.Data()[start:], e.ringRKey, int64(start), 0, false)
-		e.qp.PostWrite(wrData, ring.Data()[:delta-first], e.ringRKey, 0, imm, true)
+		wrs := [2]rdma.WriteWR{
+			{WRID: wrData, Data: ring.Data()[start:], RKey: e.ringRKey, RAddr: int64(start)},
+			{WRID: wrData, Data: ring.Data()[:delta-first], RKey: e.ringRKey, RAddr: 0, Imm: imm, WithImm: true},
+		}
+		e.qp.PostWriteBatch(wrs[:])
 	}
 	e.side.TxFlushed.Store(written)
 	e.inflight.Add(1)

@@ -51,6 +51,12 @@ type Socket struct {
 	// zero-copy receive state (deferred page mappings).
 	rxZC []zcRecv
 
+	// per-direction submission/completion rings for the vectored op path
+	// (SendBatch/RecvBatch). Lazily allocated; each is owned by whichever
+	// thread holds that direction's token.
+	sendBR *batchRing
+	recvBR *batchRing
+
 	established bool // saw the MAck (Fig. 6 Wait-Server -> Established)
 }
 
@@ -230,6 +236,16 @@ func (s *Socket) Send(ctx exec.Context, t *host.Thread, data []byte) (int, error
 		return 0, ErrShutdown
 	}
 	s.flushSlotReturns(ctx)
+	if b, ok := s.ep.(burster); ok && len(data) > maxInline {
+		// A multi-chunk send is a batch in disguise: stage all chunks and
+		// ring the doorbell once (burstEnd publishes; the explicit kick
+		// wakes a receiver that parked while the bytes were invisible).
+		b.burstBegin()
+		defer func() {
+			b.burstEnd(ctx)
+			s.ep.kick(ctx)
+		}()
+	}
 	total := 0
 	for len(data) > 0 {
 		n := len(data)

@@ -14,6 +14,7 @@ func TestBenchSuiteShape(t *testing.T) {
 		"ring_spsc_1KiB", "rdma_qp_1KiB",
 		"sd_intra_pingpong_8B", "sd_inter_pingpong_8B",
 		"sd_intra_stream_1KiB", "sd_inter_stream_1KiB",
+		"sd_intra_burst_32x64B", "sd_inter_burst_32x64B",
 	}
 	if len(rep.Entries) != len(want) {
 		t.Fatalf("%d entries, want %d", len(rep.Entries), len(want))
@@ -25,13 +26,21 @@ func TestBenchSuiteShape(t *testing.T) {
 		if e.MsgsPerSec <= 0 {
 			t.Errorf("%s: MsgsPerSec = %v, want > 0", e.Name, e.MsgsPerSec)
 		}
+		// Every entry carries quantiles now — streams stamp each message
+		// and observe delivery latency, bursts observe whole-batch RTTs.
+		if e.P50Ns <= 0 || e.P99Ns < e.P50Ns {
+			t.Errorf("%s: quantiles p50=%d p99=%d", e.Name, e.P50Ns, e.P99Ns)
+		}
 	}
 	if ring := rep.Entries[0]; ring.AllocsPerOp != 0 {
 		t.Errorf("ring AllocsPerOp = %v, want 0 (ISSUE-3 acceptance)", ring.AllocsPerOp)
 	}
-	for _, e := range rep.Entries[2:4] { // ping-pong entries carry quantiles
-		if e.P50Ns <= 0 || e.P99Ns < e.P50Ns {
-			t.Errorf("%s: quantiles p50=%d p99=%d", e.Name, e.P50Ns, e.P99Ns)
+	// ISSUE-7 acceptance: the full-stack ping-pongs are steady-state
+	// zero-alloc (the memWindow minimum filters runtime background noise,
+	// so a nonzero here is a real per-op allocation).
+	for _, e := range rep.Entries[2:4] {
+		if e.AllocsPerOp != 0 {
+			t.Errorf("%s: AllocsPerOp = %v, want 0", e.Name, e.AllocsPerOp)
 		}
 	}
 }

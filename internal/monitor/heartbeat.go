@@ -175,19 +175,12 @@ func (m *Monitor) armHeartbeat(ctx exec.Context) {
 	if need {
 		m.hbArmed = true
 	}
+	cb := m.hbTimerCb
 	m.mu.Unlock()
 	if !need {
 		return
 	}
-	m.H.Clk.After(hbInterval, func() {
-		m.mu.Lock()
-		m.hbArmed = false
-		stopped := m.stopped
-		m.mu.Unlock()
-		if !stopped {
-			m.wake()
-		}
-	})
+	m.H.Clk.After(hbInterval, cb)
 }
 
 // hostDead is the confirm action: the remote host (or at least its entire

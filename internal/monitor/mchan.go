@@ -24,6 +24,16 @@ type mchan struct {
 	bufs     map[uint64][]byte
 	inflight int
 	sbuf     [ctlmsg.Size]byte // send staging: PostSend copies at post time
+
+	// Wake-arm dedup: a parked monitor re-arms every mchan each time it
+	// parks, but quiet channels never fire the arm, so naive re-arming
+	// both allocates a wrapper per park and grows the CQ's notify list
+	// without bound. One cached callback reads wakeFn at fire time, so
+	// re-arming (including by a successor monitor after a restart) only
+	// swaps the target function.
+	wakeArmed bool
+	wakeFn    func()
+	wakeCb    func()
 }
 
 const mchanBufs = 128
@@ -35,6 +45,15 @@ func newMchan(h *host.Host, peer string) *mchan {
 		sendCQ: rdma.NewCQ(),
 		recvCQ: rdma.NewCQ(),
 		bufs:   make(map[uint64][]byte),
+	}
+	mc.wakeCb = func() {
+		mc.mu.Lock()
+		mc.wakeArmed = false
+		f := mc.wakeFn
+		mc.mu.Unlock()
+		if f != nil {
+			f()
+		}
 	}
 	pd := h.NIC.AllocPD()
 	mc.qp = pd.CreateQP(mc.sendCQ, mc.recvCQ)
@@ -89,8 +108,19 @@ func (mc *mchan) send(cm *ctlmsg.Msg) {
 }
 
 // armWake registers a one-shot wake callback on the receive CQ so a
-// parked monitor resumes when peer traffic arrives.
-func (mc *mchan) armWake(fn func()) { mc.recvCQ.Arm(fn) }
+// parked monitor resumes when peer traffic arrives. Arming while a prior
+// arm is still pending only updates the target function.
+func (mc *mchan) armWake(fn func()) {
+	mc.mu.Lock()
+	mc.wakeFn = fn
+	armed := mc.wakeArmed
+	mc.wakeArmed = true
+	cb := mc.wakeCb
+	mc.mu.Unlock()
+	if !armed {
+		mc.recvCQ.Arm(cb)
+	}
+}
 
 // recv polls one incoming control message, recycling the landing buffer
 // into a fresh receive WQE (Unmarshal copies every field, so the bytes

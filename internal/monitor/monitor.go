@@ -80,8 +80,9 @@ type Monitor struct {
 	hbDead       map[string]bool     // confirmed dead; no re-fan until heard again
 	hbLastSent   map[string]int64    // remote host -> virtual time of last beacon/echo
 	hbLastTick   int64
-	hbArmed      bool  // a clock-driven tick wake is pending
-	lastActivity int64 // last real (non-heartbeat) control-plane traffic
+	hbArmed      bool   // a clock-driven tick wake is pending
+	hbTimerCb    func() // cached timer callback (one allocation per monitor)
+	lastActivity int64  // last real (non-heartbeat) control-plane traffic
 
 	thread  exec.Thread
 	parked  bool
@@ -174,6 +175,18 @@ func startEpoch(h *host.Host, ks *ksocket.Stack, epoch uint32) *Monitor {
 		hbDead:      make(map[string]bool),
 		hbLastSent:  make(map[string]int64),
 		probeSeq:    9000,
+	}
+	// Heartbeat timer callback, created once: armHeartbeat runs on every
+	// park cycle and a fresh closure per arm would show up in steady-state
+	// allocation profiles.
+	m.hbTimerCb = func() {
+		m.mu.Lock()
+		m.hbArmed = false
+		stopped := m.stopped
+		m.mu.Unlock()
+		if !stopped {
+			m.wake()
+		}
 	}
 	h.Mon = m
 	mEpoch.Set(int64(epoch))
@@ -300,6 +313,9 @@ func (m *Monitor) run(ctx exec.Context) {
 	var mchs []*mchan
 	var kls []*ksocket.Listener
 	var klPorts []uint16
+	// One wake closure for the whole run: taking m.wake as a method value
+	// at every park would allocate per park cycle.
+	wakeFn := m.wake
 	for {
 		m.mu.Lock()
 		if m.stopped {
@@ -428,7 +444,7 @@ func (m *Monitor) run(ctx exec.Context) {
 			continue
 		}
 		for _, mc := range mchs {
-			mc.armWake(m.wake) // fire immediately if traffic raced in
+			mc.armWake(wakeFn) // fire immediately if traffic raced in
 		}
 		m.armHeartbeat(ctx)
 		ctx.Park() // woken by wakeMon / mchan arrivals / notifications / hb timer

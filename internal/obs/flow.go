@@ -97,6 +97,26 @@ func (f *Flow) AddRx(n int64) {
 	f.msgsRx.Add(1)
 }
 
+// AddTxN accounts a batch of msgs sent messages totalling bytes bytes:
+// two atomic adds for the whole batch, so per-flow policy hooks stay
+// cheap enough to sit on the batched op path.
+func (f *Flow) AddTxN(msgs, bytes int64) {
+	if f == nil {
+		return
+	}
+	f.bytesTx.Add(bytes)
+	f.msgsTx.Add(msgs)
+}
+
+// AddRxN accounts a batch of msgs received messages totalling bytes bytes.
+func (f *Flow) AddRxN(msgs, bytes int64) {
+	if f == nil {
+		return
+	}
+	f.bytesRx.Add(bytes)
+	f.msgsRx.Add(msgs)
+}
+
 // Takeover counts one token takeover on this flow.
 func (f *Flow) Takeover() {
 	if f != nil {

@@ -10,9 +10,11 @@ import (
 // TestQPSteadyStateAllocs is the regression guard for the pooled data
 // path: a 1 KiB WRITE-WITH-IMM — post, wire transit, delivery into the
 // remote MR, ack, completion on both CQs, and the RTO timer cycle — must
-// run at ≤1 allocation per message once pools are warm (the ISSUE-3
-// acceptance bound for the RDMA path; the SHM path's 0-alloc guard lives
-// in internal/shm).
+// run at ZERO allocations per message once pools are warm (the batch-path
+// acceptance bound; the SHM path's 0-alloc guard lives in internal/shm).
+// A few stray allocations can bleed in from runtime background work, so
+// the guard takes the best of three windows — a real per-op allocation
+// shows up in every window.
 func TestQPSteadyStateAllocs(t *testing.T) {
 	p := newPair(t, fabric.Config{PropDelay: 800}, 1<<16)
 	payload := make([]byte, 1024)
@@ -37,9 +39,15 @@ func TestQPSteadyStateAllocs(t *testing.T) {
 	for i := 0; i < 64; i++ {
 		op()
 	}
-	avg := testing.AllocsPerRun(200, op)
-	if avg > 1 {
-		t.Fatalf("RDMA 1KiB write path allocates %.2f per op, want <= 1", avg)
+	var avg float64
+	for attempt := 0; attempt < 3; attempt++ {
+		avg = testing.AllocsPerRun(200, op)
+		if avg == 0 {
+			break
+		}
+	}
+	if avg != 0 {
+		t.Fatalf("RDMA 1KiB write path allocates %.2f per op, want 0", avg)
 	}
 }
 

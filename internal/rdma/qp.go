@@ -311,6 +311,38 @@ func (qp *QP) PostWrite(wrid uint64, data []byte, rkey uint64, raddr int64, imm 
 	return qp.post(wrid, op, data, rkey, raddr, imm)
 }
 
+// WriteWR describes one one-sided write in a doorbell-batched post list
+// (the analogue of a chained ibv_send_wr).
+type WriteWR struct {
+	WRID    uint64
+	Data    []byte
+	RKey    uint64
+	RAddr   int64
+	Imm     uint32
+	WithImm bool
+}
+
+// PostWriteBatch posts a list of one-sided writes with a single doorbell:
+// one lock acquisition, one RTO arm, one state check for the whole chain.
+// Ordering matches posting them individually; on a non-RTS QP nothing is
+// posted and ErrQPState returns.
+func (qp *QP) PostWriteBatch(wrs []WriteWR) error {
+	qp.mu.Lock()
+	defer qp.mu.Unlock()
+	if qp.state != QPRTS {
+		return ErrQPState
+	}
+	for i := range wrs {
+		w := &wrs[i]
+		op := OpWrite
+		if w.WithImm {
+			op = OpWriteImm
+		}
+		qp.postLocked(w.WRID, op, w.Data, w.RKey, w.RAddr, w.Imm)
+	}
+	return nil
+}
+
 // PostSend posts a two-sided SEND consuming a receive WQE on the peer.
 func (qp *QP) PostSend(wrid uint64, data []byte) error {
 	return qp.post(wrid, OpSend, data, 0, 0, 0)
@@ -333,6 +365,11 @@ func (qp *QP) post(wrid uint64, op uint8, data []byte, rkey uint64, raddr int64,
 	if qp.state != QPRTS {
 		return ErrQPState
 	}
+	qp.postLocked(wrid, op, data, rkey, raddr, imm)
+	return nil
+}
+
+func (qp *QP) postLocked(wrid uint64, op uint8, data []byte, rkey uint64, raddr int64, imm uint32) {
 	mWQEsPosted.Inc()
 	if op == OpWriteImm {
 		mImmWrites.Inc()
@@ -376,7 +413,6 @@ func (qp *QP) post(wrid uint64, op uint8, data []byte, rkey uint64, raddr int64,
 		remaining = remaining[n:]
 		off += int64(n)
 	}
-	return nil
 }
 
 func (qp *QP) enqueueLocked(p *packet) {

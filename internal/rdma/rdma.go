@@ -71,19 +71,32 @@ type CQ struct {
 	mu     sync.Mutex
 	items  []CQE
 	notify []func() // one-shot arms, ibv_req_notify_cq-style (all fire once)
+	// firing is the spare arm buffer: push swaps it with notify before
+	// firing, so a callback that re-arms (the completion pump does, on
+	// every CQE) appends into recycled capacity instead of allocating a
+	// fresh slice per completion.
+	firing []func()
 }
 
-// NewCQ creates an empty completion queue.
-func NewCQ() *CQ { return &CQ{} }
+// NewCQ creates an empty completion queue. Both arm buffers are seeded
+// with capacity so steady-state Arm/push cycles never grow a slice.
+func NewCQ() *CQ {
+	return &CQ{
+		notify: make([]func(), 0, 4),
+		firing: make([]func(), 0, 4),
+	}
+}
 
 func (cq *CQ) push(e CQE) {
 	mCompletions.Inc()
 	cq.mu.Lock()
 	cq.items = append(cq.items, e)
 	ns := cq.notify
-	cq.notify = nil
+	cq.notify = cq.firing[:0]
+	cq.firing = ns
 	cq.mu.Unlock()
-	for _, n := range ns {
+	for i, n := range ns {
+		ns[i] = nil // the buffer is recycled; don't pin the closure
 		n()
 	}
 }

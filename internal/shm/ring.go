@@ -73,6 +73,13 @@ type Ring struct {
 	creditFlush  uint64
 	creditThresh uint64
 	creditHook   func(read uint64)
+
+	// sender-local burst state (BeginBurst/EndBurst): while a burst is
+	// open, TrySend* stages messages without publishing the tail, and the
+	// per-message telemetry accumulates here; EndBurst publishes once.
+	burst      bool
+	burstMsgs  int64
+	burstBytes int64
 }
 
 const (
@@ -161,6 +168,13 @@ func (r *Ring) TrySendV(typ, flags uint8, a, b []byte) bool {
 	copy(r.data[off+hdrSize+uint64(len(a)):], b)
 	*r.hdrAt(off) = packHdr(typ, flags, n)
 	r.written += sz
+	if r.burst {
+		// Doorbell coalescing: the batch becomes visible — and its
+		// telemetry is paid — once, at EndBurst.
+		r.burstMsgs++
+		r.burstBytes += int64(n)
+		return true
+	}
 	r.tail.Store(r.written) // release: publish payload + header
 	mMsgsSent.Inc()
 	mBytesSent.Add(int64(n))
@@ -171,6 +185,37 @@ func (r *Ring) TrySendV(typ, flags uint8, a, b []byte) bool {
 		r.occHW = occ
 	}
 	return true
+}
+
+// BeginBurst opens a sender-side burst: subsequent TrySend* calls stage
+// messages into the ring without publishing the tail, so a multi-message
+// batch costs one release-store and one telemetry update instead of one
+// per message (the §4.2 amortization, applied to the doorbell itself).
+// Bursts do not nest; the sender must call EndBurst before the receiver
+// can observe any staged message.
+func (r *Ring) BeginBurst() { r.burst = true }
+
+// InBurst reports whether a burst is open (sender-side only).
+func (r *Ring) InBurst() bool { return r.burst }
+
+// EndBurst publishes everything staged since BeginBurst with a single
+// tail store and folds the accumulated telemetry in. Safe to call with
+// nothing staged.
+func (r *Ring) EndBurst() {
+	r.burst = false
+	if r.burstMsgs == 0 {
+		return
+	}
+	r.tail.Store(r.written) // release: publish the whole batch
+	mMsgsSent.Add(r.burstMsgs)
+	mBytesSent.Add(r.burstBytes)
+	mMsgSize.Observe(r.burstBytes / r.burstMsgs)
+	r.burstMsgs, r.burstBytes = 0, 0
+	occ := r.written - r.creditSeen
+	mOccupancy.Set(int64(occ))
+	if occ > r.occHW {
+		r.occHW = occ
+	}
 }
 
 // OccHW returns the highest sender-side occupancy (bytes in flight between
@@ -216,6 +261,54 @@ func (r *Ring) TryRecv() (Msg, bool) {
 	r.read += hdrSize + pad8(n)
 	mMsgsRecv.Inc()
 	return Msg{Type: typ, Flags: flags, Payload: payload}, true
+}
+
+// TryRecvN dequeues up to len(out) messages in one call, paying the
+// credit bookkeeping and telemetry once for the whole pop. Every returned
+// payload view aliases ring storage and stays valid until the next
+// TryRecv/TryRecvN: credits are flushed only for bytes consumed *before*
+// this call, so nothing the batch still references can be overwritten.
+func (r *Ring) TryRecvN(out []Msg) int {
+	if len(out) == 0 {
+		return 0
+	}
+	// Return credits for everything consumed before this batch (same
+	// validity rule as the single-message path, amortized).
+	if r.read-r.creditFlush >= r.creditThresh {
+		r.flushCredit()
+	}
+	got := 0
+	for got < len(out) {
+		if r.read == r.tailSeen {
+			r.tailSeen = r.tail.Load() // acquire
+			if r.read == r.tailSeen {
+				break
+			}
+		}
+		off := r.read & r.mask
+		typ, flags, n := unpackHdr(*r.hdrAt(off))
+		if typ == wrapType {
+			r.read += r.capacity - off
+			off = 0
+			if r.read == r.tailSeen {
+				r.tailSeen = r.tail.Load()
+				if r.read == r.tailSeen {
+					break
+				}
+			}
+			typ, flags, n = unpackHdr(*r.hdrAt(off))
+		}
+		out[got] = Msg{Type: typ, Flags: flags, Payload: r.data[off+hdrSize : off+hdrSize+uint64(n)]}
+		r.read += hdrSize + pad8(n)
+		got++
+	}
+	if got > 0 {
+		mMsgsRecv.Add(int64(got))
+	} else if r.creditFlush != r.read {
+		// Idle: return outstanding credits, as TryRecv's empty path does.
+		r.flushCredit()
+	}
+	return got
 }
 
 func (r *Ring) flushCredit() {

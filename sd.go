@@ -328,6 +328,55 @@ func (c *Conn) Recv(b []byte) (int, error) {
 	return c.kf.Read(c.t.Ctx, b)
 }
 
+// SendBatch transmits the buffers as consecutive messages with one
+// libsd round trip (sendmmsg flavor): token acquisition, flow
+// accounting and the transport doorbell are paid once for the whole
+// batch. It blocks until at least the first buffer is sent, then stops
+// at the first full ring, returning how many buffers went out in full —
+// resubmit the tail. On fallback connections it degrades to per-buffer
+// kernel writes.
+func (c *Conn) SendBatch(bufs [][]byte) (int, error) {
+	if c.sock != nil {
+		return c.sock.SendBatch(c.t.Ctx, c.t.Th, bufs)
+	}
+	for i, b := range bufs {
+		if _, err := c.kf.Write(c.t.Ctx, b); err != nil {
+			return i, err
+		}
+	}
+	return len(bufs), nil
+}
+
+// RecvBatch fills the buffers with consecutive messages (recvmmsg
+// flavor): it blocks until the first buffer has bytes, then drains
+// whatever has already arrived without blocking. If lens is non-nil,
+// lens[i] receives buffer i's byte count. Returns the number of buffers
+// filled. On fallback connections it degrades to one kernel read for
+// the first buffer plus readability-gated reads for the rest.
+func (c *Conn) RecvBatch(bufs [][]byte, lens []int) (int, error) {
+	if c.sock != nil {
+		return c.sock.RecvBatch(c.t.Ctx, c.t.Th, bufs, lens)
+	}
+	filled := 0
+	for i, b := range bufs {
+		if i > 0 && !c.kf.Readable() {
+			break
+		}
+		n, err := c.kf.Read(c.t.Ctx, b)
+		if err != nil {
+			if filled > 0 {
+				break
+			}
+			return 0, err
+		}
+		if lens != nil && i < len(lens) {
+			lens[i] = n
+		}
+		filled++
+	}
+	return filled, nil
+}
+
 // RecvFull reads exactly len(b) bytes.
 func (c *Conn) RecvFull(b []byte) (int, error) {
 	got := 0
