@@ -159,11 +159,11 @@ func BenchmarkRedisGET(b *testing.B) {
 
 func BenchmarkConnectionSetup(b *testing.B) {
 	b.ReportAllocs()
-	var rate float64
+	var r experiments.ConnScaleResult
 	for i := 0; i < b.N; i++ {
-		rate, _ = experiments.ConnScale(200)
+		r = experiments.ConnScaleDrill(experiments.ConnScaleConfig{Population: 160, Churn: 64})
 	}
-	b.ReportMetric(rate/1e6, "virt-Mconn/s")
+	b.ReportMetric(r.ConnectsPerSec/1e6, "virt-Mconn/s")
 }
 
 // --- ablations (DESIGN.md §5) ---

@@ -284,9 +284,20 @@ func redis() {
 }
 
 func connscale() {
-	rate, dispatched := experiments.ConnScale(400)
-	fmt.Printf("connection churn: %.2f M conns/s through libsd+monitor (%d dispatched)\n",
-		rate/1e6, dispatched)
+	r := experiments.ConnScaleDrill(experiments.ConnScaleConfig{
+		Population: 100_000, Churn: 20_000,
+	})
+	fmt.Printf("connscale: held %d sockets concurrently (peak %d) with %d churn cycles; %d dial retries\n",
+		r.Population, r.PeakConcurrent, r.Churn, r.DialRetries)
+	fmt.Printf("  connect: %8.0f conns/s  (p50 %6.2f us, p99 %6.2f us, %d total)\n",
+		r.ConnectsPerSec, float64(r.ConnectP50Ns)/1e3, float64(r.ConnectP99Ns)/1e3, r.Connects)
+	fmt.Printf("  accept:  %8.0f conns/s  (p50 %6.2f us, p99 %6.2f us, %d total)\n",
+		r.AcceptsPerSec, float64(r.AcceptP50Ns)/1e3, float64(r.AcceptP99Ns)/1e3, r.Accepts)
+	for _, sh := range r.Shards {
+		fmt.Printf("  monitor shard %d: %7d events, dispatch p50 %5d ns, p99 %5d ns\n",
+			sh.Shard, sh.Events, sh.P50Ns, sh.P99Ns)
+	}
+	fmt.Printf("  monitor dispatched %d connections\n", r.Dispatched)
 	fmt.Println("paper: 1.4 M conns/s per app thread; monitor 5.3 M/s")
 }
 

@@ -56,10 +56,10 @@ func sdstatCmd(args []string) {
 		return
 	}
 	tw := tabwriter.NewWriter(os.Stdout, 2, 8, 2, ' ', 0)
-	fmt.Fprintln(tw, "HOST\tPID\tQID\tPEER\tTRANSPORT\tSTATE\tBYTES-TX\tBYTES-RX\tMSGS-TX\tMSGS-RX\tTAKEOVER\tRECOV\tRESETS\tRING-HW\tEPOCH")
+	fmt.Fprintln(tw, "HOST\tPID\tQID\tSHARD\tPEER\tTRANSPORT\tSTATE\tBYTES-TX\tBYTES-RX\tMSGS-TX\tMSGS-RX\tTAKEOVER\tRECOV\tRESETS\tRING-HW\tEPOCH")
 	for _, f := range flows {
-		fmt.Fprintf(tw, "%s\t%d\t%d\t%s\t%s\t%s\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\n",
-			f.Host, f.PID, f.QID, f.Peer, f.Transport, f.State,
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%s\t%s\t%s\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\n",
+			f.Host, f.PID, f.QID, f.Shard, f.Peer, f.Transport, f.State,
 			f.BytesTx, f.BytesRx, f.MsgsTx, f.MsgsRx,
 			f.Takeovers, f.Recovs, f.Resets, f.RingHW, f.Epoch)
 	}

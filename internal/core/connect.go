@@ -146,7 +146,7 @@ func (l *Libsd) ListenOn(ctx exec.Context, t *host.Thread, port uint16) (*Listen
 	}
 	bl := l.backlogs[key]
 	l.mu.Unlock()
-	w := l.newCtlWaiter(ctx, func(c exec.Context) { l.sendCtl(c, &m) })
+	w := l.newCtlWaiter(ctx, l.ctlShard(&m), func(c exec.Context) { l.sendCtl(c, &m) })
 	for bl.bindStatus.Load() == 0 {
 		if l.P.Dead() {
 			return nil, ErrProcessKilled
@@ -358,7 +358,7 @@ func (l *Libsd) Connect(ctx exec.Context, t *host.Thread, dstHost string, dstPor
 	// Bounded wait for the KConnectRes: a monitor that dies mid-dispatch
 	// must not park this thread forever. A re-send across a restart is
 	// safe — the monitor dedups connects by ConnID.
-	w := l.newCtlWaiter(ctx, func(c exec.Context) { l.sendCtl(c, &m) })
+	w := l.newCtlWaiter(ctx, l.ctlShard(&m), func(c exec.Context) { l.sendCtl(c, &m) })
 	for pc.status.Load() == 0 {
 		if l.P.Dead() {
 			return nil, nil, ErrProcessKilled
@@ -755,7 +755,9 @@ func (l *Libsd) handleCtl(ctx exec.Context, m *ctlmsg.Msg) {
 			res.Host = stolen.Host
 			res.SrcPort = stolen.SrcPort
 			res.TID = stolen.TID // original pid hint unused
-			res.Aux = stolen.Aux
+			// res.Aux stays the echoed steal id from the request — the
+			// monitor matches the response to its in-flight steal record
+			// by it; a KNewConn descriptor's own Aux carries nothing.
 		}
 		l.sendCtl(ctx, &res)
 	}

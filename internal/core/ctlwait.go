@@ -34,18 +34,22 @@ type ctlWaiter struct {
 	start    int64
 	lastPing int64
 	epoch    uint32 // incarnation the in-flight request was stamped for
+	shard    int    // monitor shard serving the awaited request
 	resend   func(exec.Context)
 	spins    int
 }
 
 // newCtlWaiter starts the silence clock for one in-flight control-plane
-// request. resend re-issues the request verbatim (sendCtl re-stamps the
-// epoch); it must be idempotent at the monitor — every request kind is,
-// by ConnID/registration dedup.
-func (l *Libsd) newCtlWaiter(ctx exec.Context, resend func(exec.Context)) *ctlWaiter {
+// request. shard is the dispatch loop the request routed to — the wait
+// measures that one loop's silence and addresses its pings there, so a
+// wedged shard times out even while its siblings chatter. resend
+// re-issues the request verbatim (sendCtl re-stamps the epoch); it must
+// be idempotent at the monitor — every request kind is, by
+// ConnID/registration dedup.
+func (l *Libsd) newCtlWaiter(ctx exec.Context, shard int, resend func(exec.Context)) *ctlWaiter {
 	now := l.H.Clk.Now()
 	return &ctlWaiter{l: l, start: now, lastPing: now,
-		epoch: l.monEpoch.Load(), resend: resend}
+		epoch: l.monEpoch.Load(), shard: shard, resend: resend}
 }
 
 // step runs one iteration of a bounded wait: drain the control queue,
@@ -68,7 +72,7 @@ func (w *ctlWaiter) step(ctx exec.Context) error {
 		}
 	}
 	quiet := now - w.start
-	if last := l.lastCtlRecv.Load(); last > w.start {
+	if last := l.lastCtlRecv[w.shard].Load(); last > w.start {
 		quiet = now - last
 	}
 	if quiet > ctlDeadAfter {
@@ -76,7 +80,10 @@ func (w *ctlWaiter) step(ctx exec.Context) error {
 	}
 	if now-w.lastPing >= ctlPingEvery {
 		w.lastPing = now
-		ping := ctlmsg.Msg{Kind: ctlmsg.KPing, PID: int64(l.P.PID)}
+		// Shard-addressed ping: KPing has no state key, so the Shard field
+		// routes it to the loop whose silence this wait is measuring.
+		ping := ctlmsg.Msg{Kind: ctlmsg.KPing, PID: int64(l.P.PID),
+			Shard: uint8(w.shard)}
 		l.sendCtl(ctx, &ping)
 	}
 	ctx.Charge(l.H.Costs.RingOp)

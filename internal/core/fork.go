@@ -36,7 +36,7 @@ func (l *Libsd) Fork(ctx exec.Context, t *host.Thread, name string) (*host.Proce
 	m := ctlmsg.Msg{Kind: ctlmsg.KForkSecret, Secret: secret, PID: int64(l.P.PID),
 		TraceID: op.Trace, SpanID: op.Span}
 	l.sendCtl(ctx, &m)
-	w := l.newCtlWaiter(ctx, func(c exec.Context) { l.sendCtl(c, &m) })
+	w := l.newCtlWaiter(ctx, l.ctlShard(&m), func(c exec.Context) { l.sendCtl(c, &m) })
 	for {
 		if l.P.Dead() {
 			return nil, nil, ErrProcessKilled
@@ -180,7 +180,7 @@ func (f *forkedRdmaEP) materialize(ctx exec.Context) *rdmaEP {
 	// contract (trySend/tryRecv) has no errno channel, so a timeout here
 	// re-issues the splice request instead of failing — the wait survives
 	// any number of monitor restarts and completes when one answers.
-	w := f.lib.newCtlWaiter(ctx, func(c exec.Context) { f.lib.sendCtl(c, &req) })
+	w := f.lib.newCtlWaiter(ctx, f.lib.ctlShard(&req), func(c exec.Context) { f.lib.sendCtl(c, &req) })
 	for {
 		if f.lib.P.Dead() || f.sock.side.PeerReset.Load() {
 			// Own death or a peer crash mid-splice: abandon the QP; the
@@ -210,7 +210,7 @@ func (f *forkedRdmaEP) materialize(ctx exec.Context) *rdmaEP {
 		if err := w.step(ctx); err != nil {
 			// Monitor silence: re-send the splice request and keep
 			// waiting (the peer regenerates its KReQPRes on re-request).
-			w = f.lib.newCtlWaiter(ctx, func(c exec.Context) { f.lib.sendCtl(c, &req) })
+			w = f.lib.newCtlWaiter(ctx, f.lib.ctlShard(&req), func(c exec.Context) { f.lib.sendCtl(c, &req) })
 			f.lib.sendCtl(ctx, &req)
 		}
 	}

@@ -9,6 +9,7 @@ import (
 	"socksdirect/internal/ctlmsg"
 	"socksdirect/internal/exec"
 	"socksdirect/internal/host"
+	"socksdirect/internal/monitor/shard"
 	"socksdirect/internal/obs"
 	"socksdirect/internal/rdma"
 	"socksdirect/internal/shm"
@@ -58,16 +59,18 @@ type Libsd struct {
 	H *host.Host
 
 	ctlMu   sync.Mutex // guards ctl rings (control plane only)
-	ctl     shm.Side   // app side of the monitor duplex
-	wakeMon func()
+	ctl     []shm.Side // app side of the monitor duplexes, one per shard
+	wakeMon func(shard int)
 
 	// monEpoch is the monitor incarnation this process believes it is
 	// talking to: stamped on every outgoing control message, bumped when a
 	// higher-epoch message (a restarted daemon's KReRegister) arrives.
 	monEpoch atomic.Uint32
-	// lastCtlRecv is the virtual time any control message was last
-	// received; bounded waits measure monitor silence against it.
-	lastCtlRecv atomic.Int64
+	// lastCtlRecv is, per monitor shard, the virtual time any control
+	// message was last received on that shard's plane; bounded waits
+	// measure the silence of the one shard loop serving their request,
+	// so a live sibling shard cannot mask a wedged one.
+	lastCtlRecv []atomic.Int64
 
 	// sleepNotes tracks threads that published a KSleepNote and parked;
 	// a restarted monitor learns them from the re-registration report.
@@ -163,10 +166,14 @@ func initWith(p *host.Process, link *ProcLink) (*Libsd, error) {
 	if link == nil {
 		return nil, ErrNoMonitor
 	}
+	ctl := make([]shm.Side, len(link.Ds))
+	for i, d := range link.Ds {
+		ctl[i] = d.A()
+	}
 	l := &Libsd{
 		P:          p,
 		H:          p.Host,
-		ctl:        link.D.A(),
+		ctl:        ctl,
 		wakeMon:    link.WakeMonitor,
 		fds:        make(map[int]*fdEntry),
 		pending:    make(map[uint64]*pendingConn),
@@ -182,6 +189,7 @@ func initWith(p *host.Process, link *ProcLink) (*Libsd, error) {
 
 		recoveryBudget: DefaultRecoveryBudget,
 	}
+	l.lastCtlRecv = make([]atomic.Int64, len(ctl))
 	l.monEpoch.Store(link.Epoch)
 	l.pd = p.Host.NIC.AllocPD()
 	l.armAutoPump()
@@ -263,13 +271,20 @@ func (l *Libsd) processRevokes(ctx exec.Context) {
 
 // --- control plane ---
 
-// sendCtl enqueues a message on the monitor queue (blocking on a full
-// ring, which in practice never happens on the control plane). Every
+// ctlShard returns the monitor shard (control plane index) a message
+// travels on. Both request and reply derive it from the same key, so the
+// pair stays on one plane (see internal/monitor/shard).
+func (l *Libsd) ctlShard(m *ctlmsg.Msg) int { return shard.ForMsg(m, len(l.ctl)) }
+
+// sendCtl enqueues a message on its shard's monitor queue (blocking on a
+// full ring, which in practice never happens on the control plane). Every
 // message is stamped with the monitor epoch this process last heard from;
 // a successor incarnation drops older stamps, and the sender's bounded
 // wait re-sends under the new epoch.
 func (l *Libsd) sendCtl(ctx exec.Context, m *ctlmsg.Msg) {
 	m.Epoch = l.monEpoch.Load()
+	s := l.ctlShard(m)
+	m.Shard = uint8(s)
 	if m.TraceID != 0 {
 		// Queue-hop start for the monitor's span. Clock, not ctx: the
 		// signal-handler path calls through here with a nil context.
@@ -278,7 +293,7 @@ func (l *Libsd) sendCtl(ctx exec.Context, m *ctlmsg.Msg) {
 	var buf [ctlmsg.Size]byte
 	b := m.Marshal(buf[:])
 	l.ctlMu.Lock()
-	for !l.ctl.TX.TrySend(0, 0, b) {
+	for !l.ctl[s].TX.TrySend(0, 0, b) {
 		l.ctlMu.Unlock()
 		if l.P.Dead() {
 			return // corpse control traffic is droppable; don't spin
@@ -290,36 +305,39 @@ func (l *Libsd) sendCtl(ctx exec.Context, m *ctlmsg.Msg) {
 	}
 	l.ctlMu.Unlock()
 	if l.wakeMon != nil {
-		l.wakeMon()
+		l.wakeMon(s)
 	}
 }
 
-// pollCtl drains the monitor->process queue, dispatching each message. It
-// is safe from any thread (control plane is mutex-protected).
+// pollCtl drains every shard's monitor->process queue, dispatching each
+// message. It is safe from any thread (control plane is mutex-protected).
 func (l *Libsd) pollCtl(ctx exec.Context) bool {
 	progress := false
-	for {
-		l.ctlMu.Lock()
-		msg, ok := l.ctl.RX.TryRecv()
-		var m ctlmsg.Msg
-		if ok {
-			m, ok = ctlmsg.Unmarshal(msg.Payload)
+	for s := range l.ctl {
+		for {
+			l.ctlMu.Lock()
+			msg, ok := l.ctl[s].RX.TryRecv()
+			var m ctlmsg.Msg
+			if ok {
+				m, ok = ctlmsg.Unmarshal(msg.Payload)
+			}
+			l.ctlMu.Unlock()
+			if !ok {
+				break
+			}
+			progress = true
+			now := l.H.Clk.Now()
+			l.lastCtlRecv[s].Store(now)
+			if m.Epoch != 0 && !l.noteMonEpoch(m.Epoch) {
+				continue // a dead incarnation's leftover: drop it
+			}
+			// Queue hop: monitor enqueue (m.TS) to this process's dequeue.
+			m.SpanID = obs.RecordHop(l.H.Name, int64(l.P.PID), obs.HopProcRing,
+				uint8(m.Kind), m.TraceID, m.SpanID, m.TS, now)
+			l.handleCtl(ctx, &m)
 		}
-		l.ctlMu.Unlock()
-		if !ok {
-			return progress
-		}
-		progress = true
-		now := l.H.Clk.Now()
-		l.lastCtlRecv.Store(now)
-		if m.Epoch != 0 && !l.noteMonEpoch(m.Epoch) {
-			continue // a dead incarnation's leftover: drop it
-		}
-		// Queue hop: monitor enqueue (m.TS) to this process's dequeue.
-		m.SpanID = obs.RecordHop(l.H.Name, int64(l.P.PID), obs.HopProcRing,
-			uint8(m.Kind), m.TraceID, m.SpanID, m.TS, now)
-		l.handleCtl(ctx, &m)
 	}
+	return progress
 }
 
 // noteMonEpoch folds an incoming message's epoch into monEpoch. A higher

@@ -1,0 +1,164 @@
+package core_test
+
+import (
+	"testing"
+
+	"socksdirect/internal/exec"
+	"socksdirect/internal/host"
+	"socksdirect/internal/monitor"
+	"socksdirect/internal/monitor/shard"
+	"socksdirect/internal/telemetry"
+)
+
+// TestAcceptFanoutSpansShards drives one listener port through enough
+// dials that the dispatched connections land on every monitor shard: the
+// listener's bind table lives on the port's shard, but each KConnect
+// arrives on its connection ID's shard and the dispatch crosses over to
+// pick the listener. Every shard's dispatch loop must have handled
+// control traffic — a silent shard means the cross-shard listener path
+// fell back to a single plane.
+func TestAcceptFanoutSpansShards(t *testing.T) {
+	w := newWorld(t)
+	sp, sl := proc(t, w.a, "server", 0)
+	cp, clib := proc(t, w.a, "client", 1000)
+
+	before := telemetry.Capture()
+	const conns = 32
+	served := 0
+	sp.Spawn("srv", func(ctx exec.Context, th *host.Thread) {
+		lst, err := sl.ListenOn(ctx, th, 7040)
+		if err != nil {
+			t.Errorf("listen: %v", err)
+			return
+		}
+		buf := make([]byte, 16)
+		for i := 0; i < conns; i++ {
+			s, _, err := lst.Accept(ctx)
+			if err != nil {
+				t.Errorf("accept %d: %v", i, err)
+				return
+			}
+			n, err := s.Recv(ctx, th, buf)
+			if err != nil {
+				t.Errorf("recv %d: %v", i, err)
+				return
+			}
+			if _, err := s.Send(ctx, th, buf[:n]); err != nil {
+				t.Errorf("send %d: %v", i, err)
+				return
+			}
+			served++
+		}
+	})
+	cp.Spawn("cli", func(ctx exec.Context, th *host.Thread) {
+		ctx.Sleep(10_000)
+		buf := make([]byte, 16)
+		for i := 0; i < conns; i++ {
+			s, _, err := clib.Connect(ctx, th, "hostA", 7040)
+			if err != nil {
+				t.Errorf("connect %d: %v", i, err)
+				return
+			}
+			if _, err := s.Send(ctx, th, []byte("ping")); err != nil {
+				t.Errorf("cli send %d: %v", i, err)
+				return
+			}
+			if _, err := s.Recv(ctx, th, buf); err != nil {
+				t.Errorf("cli recv %d: %v", i, err)
+				return
+			}
+		}
+	})
+	w.sim.Run()
+	if served != conns {
+		t.Fatalf("served %d of %d connections", served, conns)
+	}
+	d := telemetry.Capture().Diff(before)
+	for i := 0; i < shard.DefaultCount; i++ {
+		if d[telemetry.MonShardEvents(i)] == 0 {
+			t.Errorf("monitor shard %d handled no control messages during the fan-out", i)
+		}
+	}
+}
+
+// TestTakeoverAcrossMonitorRestart crosses the §4.1.1 token takeover with
+// monitor restart: thread 1 holds the send token, the monitor dies and a
+// successor resurrects shard-partitioned state from the processes'
+// re-registration reports (KReRegister on the PID's shard, per-record
+// KReRegistered on the record's own key shard), and THEN thread 2 takes
+// the token over — the KTakeover lands on the queue ID's shard of the
+// successor, which must find the resurrected token state there.
+func TestTakeoverAcrossMonitorRestart(t *testing.T) {
+	w := newWorld(t)
+	sp, sl := proc(t, w.a, "server", 0)
+	cp, clib := proc(t, w.a, "client", 0)
+
+	const perThread = 20
+	recvd := 0
+	sp.Spawn("srv", func(ctx exec.Context, th *host.Thread) {
+		lst, _ := sl.ListenOn(ctx, th, 7041)
+		s, _, err := lst.Accept(ctx)
+		if err != nil {
+			t.Errorf("accept: %v", err)
+			return
+		}
+		buf := make([]byte, 16)
+		for recvd < 2*perThread {
+			if _, err := s.Recv(ctx, th, buf); err != nil {
+				t.Errorf("recv: %v", err)
+				return
+			}
+			recvd++
+		}
+	})
+
+	var successor *monitor.Monitor
+	w.sim.Spawn("restart-ctl", func(ctx exec.Context) {
+		ctx.Sleep(5_000_000)
+		successor = monitor.Restart(w.a)
+	})
+
+	cp.Spawn("cli", func(ctx exec.Context, th *host.Thread) {
+		ctx.Sleep(10_000)
+		s, _, err := clib.Connect(ctx, th, "hostA", 7041)
+		if err != nil {
+			t.Errorf("connect: %v", err)
+			return
+		}
+		for i := 0; i < perThread; i++ {
+			if _, err := s.Send(ctx, th, []byte("from-t1")); err != nil {
+				t.Errorf("t1 send: %v", err)
+				return
+			}
+		}
+		// Wait out the restart plus a re-registration beat, keeping the
+		// thread cooperative (not parked) so revocation stays honored.
+		for successor == nil {
+			ctx.Sleep(100_000)
+		}
+		ctx.Sleep(2_000_000)
+		done := false
+		cp.Spawn("cli2", func(ctx2 exec.Context, th2 *host.Thread) {
+			for i := 0; i < perThread; i++ {
+				if _, err := s.Send(ctx2, th2, []byte("from-t2")); err != nil {
+					t.Errorf("t2 send: %v", err)
+					return
+				}
+			}
+			done = true
+		})
+		for !done {
+			ctx.Yield()
+		}
+	})
+	w.sim.Run()
+	if recvd != 2*perThread {
+		t.Fatalf("received %d of %d sends across the restart", recvd, 2*perThread)
+	}
+	if successor == nil {
+		t.Fatal("successor monitor never started")
+	}
+	if successor.TokensGranted == 0 {
+		t.Fatal("the post-restart takeover never went through the successor monitor")
+	}
+}

@@ -126,7 +126,7 @@ func (s *Socket) acquireToken(ctx exec.Context, t *host.Thread, dir int) error {
 		// silence aborts, with EAGAIN — the takeover is simply retryable.
 		// Across a restart the waiter re-enters the successor's (empty)
 		// FIFO automatically.
-		w := s.lib.newCtlWaiter(ctx, func(c exec.Context) {
+		w := s.lib.newCtlWaiter(ctx, s.lib.ctlShard(&m), func(c exec.Context) {
 			m.Aux = uint64(holder.Load())
 			s.lib.sendCtl(c, &m)
 		})

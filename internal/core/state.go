@@ -186,15 +186,16 @@ func (s *IntraSock) Peer(side *SideState) *SideState {
 	return s.A
 }
 
-// ProcLink is what the monitor hands a process at registration: the
-// exclusive control duplex (app side A, monitor side B) plus a wake hook.
+// ProcLink is what the monitor hands a process at registration: one
+// exclusive control duplex per monitor shard (app side A, monitor side B;
+// index = shard number, see internal/monitor/shard) plus a wake hook.
 // The wake hook stands in for the real monitor's busy polling — the
-// simulated monitor parks when idle, and a control-plane sender nudges it,
-// which is observably identical to an always-polling monitor with zero
-// extra latency.
+// simulated monitor parks when idle, and a control-plane sender nudges
+// the shard it wrote to, which is observably identical to an
+// always-polling monitor with zero extra latency.
 type ProcLink struct {
-	D           *shm.Duplex
-	WakeMonitor func()
+	Ds          []*shm.Duplex
+	WakeMonitor func(shard int)
 	MonitorHost string
 	// Epoch is the monitor incarnation that issued this link. libsd stamps
 	// it on every control message; a restarted monitor (higher epoch)

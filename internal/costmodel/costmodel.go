@@ -33,6 +33,7 @@ type Costs struct {
 	KernelLockHold int64 // hold time of the kernel's global TCB lock
 	RingOp         int64 // one lockless ring enqueue or dequeue
 	RDMAPost       int64 // CPU cost of posting one verb / polling one CQE
+	MonDispatch    int64 // monitor control-plane handling of one message
 
 	// --- memory system ---
 	PageMap4K         int64 // map one 4 KiB page (incl. kernel crossing + TLB shootdown share)
@@ -73,6 +74,7 @@ var Default = Costs{
 	KernelLockHold: 420, // serialized share of kernel TCB/queue locks (flattens Linux ~7 cores, Fig 9)
 	RingOp:         20,  // half of the 27 Mop/s lockless-queue RTT budget
 	RDMAPost:       77,  // 13 M one-sided writes/s on one core (Table 2)
+	MonDispatch:    90,  // §6: monitor dispatches 5.3 M conns/s (~189 ns/conn, ~2 ctl msgs each)
 
 	PageMap4K:         780, // "Map one page (4 KiB): 0.78 us"
 	PageMapBatchFixed: 766, // derived: "Map 32 pages (128 KiB): 1.2 us" = fixed + 32*perPage

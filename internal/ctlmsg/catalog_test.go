@@ -1,0 +1,49 @@
+package ctlmsg
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestCatalogCoversEveryKind pins ARCHITECTURE.md's control-message
+// catalog to the enum: every defined Kind must appear in the catalog
+// table by its backticked wire name, and the catalog must not document
+// kinds that no longer exist. Adding a Kind without documenting its
+// fields, direction, shard affinity and epoch semantics fails here.
+func TestCatalogCoversEveryKind(t *testing.T) {
+	raw, err := os.ReadFile("../../ARCHITECTURE.md")
+	if err != nil {
+		t.Fatalf("reading ARCHITECTURE.md: %v", err)
+	}
+	doc := string(raw)
+	const heading = "### Control message catalog"
+	start := strings.Index(doc, heading)
+	if start < 0 {
+		t.Fatalf("ARCHITECTURE.md lost its %q section", heading)
+	}
+	section := doc[start:]
+	if end := strings.Index(section[len(heading):], "\n## "); end >= 0 {
+		section = section[:len(heading)+end]
+	}
+	rows := 0
+	for _, line := range strings.Split(section, "\n") {
+		if strings.HasPrefix(line, "| K") && !strings.HasPrefix(line, "| Kind ") {
+			rows++
+		}
+	}
+	kinds := 0
+	for k := Kind(1); int(k) < NumKinds; k++ {
+		kinds++
+		if k.String() == "unknown" {
+			t.Errorf("kind %d has no name in kindNames", k)
+			continue
+		}
+		if !strings.Contains(section, "`"+k.String()+"`") {
+			t.Errorf("catalog is missing kind %s (wire name `%s`)", k, k)
+		}
+	}
+	if rows != kinds {
+		t.Errorf("catalog has %d rows but the enum defines %d kinds — stale entries?", rows, kinds)
+	}
+}

@@ -127,7 +127,7 @@ const (
 	StatusNoRoute
 )
 
-// Size is the fixed encoded size of a Msg (148 bytes of payload padded to
+// Size is the fixed encoded size of a Msg (149 bytes of payload padded to
 // the next 8-byte boundary so ring slots stay aligned).
 const Size = 152
 
@@ -164,6 +164,12 @@ type Msg struct {
 	TS      int64
 	TraceID uint64
 	SpanID  uint64
+
+	// Shard is the control-plane shard the message travels on (see
+	// internal/monitor/shard). Senders stamp it from shard.ForMsg; for
+	// keyless kinds (KPing/KPong) it IS the address — the waiter names
+	// the dispatch loop whose liveness it is probing.
+	Shard uint8
 }
 
 // SetHost stores a host name (truncated to 16 bytes).
@@ -214,7 +220,8 @@ func (m *Msg) Marshal(out []byte) []byte {
 	le.PutUint64(out[124:], uint64(m.TS))
 	le.PutUint64(out[132:], m.TraceID)
 	le.PutUint64(out[140:], m.SpanID)
-	le.PutUint32(out[148:], 0) // pad
+	out[148] = m.Shard
+	out[149], out[150], out[151] = 0, 0, 0 // pad
 	return out
 }
 
@@ -255,5 +262,6 @@ func Unmarshal(in []byte) (Msg, bool) {
 	m.TS = int64(le.Uint64(in[124:]))
 	m.TraceID = le.Uint64(in[132:])
 	m.SpanID = le.Uint64(in[140:])
+	m.Shard = in[148]
 	return m, true
 }

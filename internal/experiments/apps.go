@@ -476,40 +476,6 @@ func Redis(requests int) RedisResult {
 	}
 }
 
-// ConnScale measures connection setup rate through libsd and the monitor
-// (§6: "An application thread with libsd can create 1.4 M new connections
-// per second"). SHM connections avoid QP creation by construction.
-func ConnScale(conns int) (connsPerSec float64, dispatched int) {
-	w := newWorld()
-	srv := w.ha.NewProcess("srv", 0)
-	cli := w.ha.NewProcess("cli", 0)
-	srv.Go("acceptor", func(t *sd.T) {
-		ln, _ := t.Listen(7500)
-		for i := 0; i < conns; i++ {
-			c, err := ln.Accept()
-			if err != nil {
-				return
-			}
-			c.Close()
-		}
-	})
-	var rate float64
-	cli.Go("dialer", func(t *sd.T) {
-		t.Sleep(20_000)
-		start := t.Now()
-		for i := 0; i < conns; i++ {
-			c, err := t.Dial("hostA", 7500)
-			if err != nil {
-				return
-			}
-			c.Close()
-		}
-		rate = float64(conns) / (float64(t.Now()-start) / 1e9)
-	})
-	w.sim.Run()
-	return rate, w.ma.ConnsDispatched
-}
-
 // AblateToken compares §4.1's three socket-sharing regimes on one queue:
 // token fast path (one active thread), per-op take-over (two threads
 // alternating), and a mutex-per-op queue.

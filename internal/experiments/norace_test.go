@@ -1,0 +1,7 @@
+//go:build !race
+
+package experiments
+
+// raceEnabled reports whether the race detector is compiled in; see
+// race_test.go.
+const raceEnabled = false

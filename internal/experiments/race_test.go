@@ -1,0 +1,10 @@
+//go:build race
+
+package experiments
+
+// raceEnabled reports whether the race detector is compiled in. The
+// zero-alloc bench assertions measure the Go heap, and race
+// instrumentation allocates shadow state on paths that are
+// allocation-free in a normal build — so those assertions only run in
+// normal builds (the bench-smoke CI job), not under -race.
+const raceEnabled = true

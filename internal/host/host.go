@@ -34,6 +34,7 @@ type Host struct {
 	procs    map[int]*Process
 	nextPID  int
 	nextCore exec.CoreID
+	maxCores int // 0 = unbounded (a fresh core per NextCore call)
 
 	// Mon holds the host's monitor daemon (set by internal/monitor); the
 	// host layer never inspects it.
@@ -131,12 +132,30 @@ func (h *Host) Process(pid int) *Process {
 	return h.procs[pid]
 }
 
-// NextCore hands out a fresh core id for thread placement.
+// NextCore hands out a core id for thread placement: a fresh core per
+// call by default, or round-robin over [1, SetCores(n)] when the host has
+// been bounded. Distinct ids run concurrently under the sim executor, so
+// the default models an unconstrained machine; a bounded host models core
+// contention (threads sharing a core interleave instead of overlapping).
 func (h *Host) NextCore() exec.CoreID {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	h.nextCore++
+	if h.maxCores > 0 {
+		return exec.CoreID((int(h.nextCore)-1)%h.maxCores + 1)
+	}
 	return h.nextCore
+}
+
+// SetCores bounds the host to n cores (n <= 0 removes the bound).
+// Placement of already-spawned threads is unchanged; only subsequent
+// NextCore calls wrap. Connection-scale drills use this to pin the
+// monitor's shard loops and the app threads onto a fixed core set, the
+// way a real host would share its cores between them.
+func (h *Host) SetCores(n int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.maxCores = n
 }
 
 // Signal numbers (the subset the system uses).

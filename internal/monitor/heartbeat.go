@@ -186,14 +186,13 @@ func (m *Monitor) armHeartbeat(ctx exec.Context) {
 // hostDead is the confirm action: the remote host (or at least its entire
 // SocksDirect control plane) is gone, so every local socket toward it is
 // reset via KPeerDead — the same message the peer monitor would have sent
-// per crashed process — and the channel is dropped. The hbDead latch keeps
-// a single failure from fanning out more than once; it clears when the
-// host is heard from again.
+// per crashed process — and the channel is dropped. The connection records
+// live in the shards, so the router fans one sweep event into every
+// shard's inbox; each shard resets exactly the connections it owns
+// (shards.go, sweepHostDead). The hbDead latch keeps a single failure
+// from fanning out more than once; it clears when the host is heard from
+// again.
 func (m *Monitor) hostDead(ctx exec.Context, peer string) {
-	type note struct {
-		qid   uint64
-		owner int
-	}
 	m.mu.Lock()
 	if m.hbDead[peer] {
 		m.mu.Unlock()
@@ -202,30 +201,16 @@ func (m *Monitor) hostDead(ctx exec.Context, peer string) {
 	m.hbDead[peer] = true
 	delete(m.hbPeers, peer)
 	delete(m.mchans, peer)
-	var notes []note
-	for qid, c := range m.conns {
-		if c.peerHost != peer {
-			continue
-		}
-		owner := m.connOwner[qid]
-		delete(m.conns, qid)
-		delete(m.connOwner, qid)
-		delete(m.remotePend, qid)
-		if owner != 0 {
-			notes = append(notes, note{qid: qid, owner: owner})
-		}
+	for _, sh := range m.shards {
+		sh.inbox = append(sh.inbox, shardEvent{deadHost: peer})
 	}
 	m.mu.Unlock()
-	sort.Slice(notes, func(i, j int) bool { return notes[i].qid < notes[j].qid })
 	mHostDeadFanouts.Inc()
 	if telemetry.Trace.Enabled() {
 		telemetry.Trace.Emit(ctx.Now(), "monitor", "host_dead",
-			telemetry.A("conns_reset", int64(len(notes))))
+			telemetry.A("shards", int64(len(m.shards))))
 	}
-	for _, n := range notes {
-		pd := ctlmsg.Msg{Kind: ctlmsg.KPeerDead, QID: n.qid}
-		pd.SetHost(peer)
-		m.sendTo(ctx, n.owner, &pd, true)
-		m.wakeSleepers(n.owner)
+	for _, sh := range m.shards {
+		sh.wake()
 	}
 }

@@ -7,28 +7,37 @@
 // to repaired kernel TCP connections), and relays inter-host control
 // traffic over a monitor-to-monitor RDMA channel.
 //
-// The daemon is a single thread that polls SHM queues from every local
-// process, exactly as in the paper; when everything is idle it parks, and
-// control-plane senders nudge it awake (observably identical to busy
+// The paper's daemon is a single thread that polls SHM queues; this one
+// shards that dispatch plane by control-plane key so connection setup
+// scales with cores instead of serializing on one loop (see
+// internal/monitor/shard and shards.go). Each shard polls its own
+// per-process SHM duplexes; a thin router thread owns the work that is
+// global by nature (monitor channels, kernel listeners, probes, crash
+// cleanup, heartbeats) and forwards keyed arrivals to the owning shard.
+// When everything is idle every loop parks, and control-plane senders
+// nudge the one shard they wrote to (observably identical to busy
 // polling, see core.ProcLink).
 package monitor
 
 import (
 	"fmt"
+	"sort"
 	"sync"
+	"sync/atomic"
 
 	"socksdirect/internal/core"
 	"socksdirect/internal/ctlmsg"
 	"socksdirect/internal/exec"
 	"socksdirect/internal/host"
 	"socksdirect/internal/ksocket"
+	"socksdirect/internal/monitor/shard"
 	"socksdirect/internal/obs"
 	"socksdirect/internal/rdma"
 	"socksdirect/internal/shm"
 	"socksdirect/internal/telemetry"
 )
 
-// ctlRingCap sizes each process's control duplex.
+// ctlRingCap sizes each process's per-shard control duplex.
 const ctlRingCap = 64 * 1024
 
 // Policy decides whether a local process owned by uid may connect to
@@ -40,30 +49,22 @@ type Monitor struct {
 	H  *host.Host
 	KS *ksocket.Stack // kernel sockets for the fallback path (may be nil)
 
-	mu         sync.Mutex
-	procs      map[int]*procChan
-	listeners  map[uint16][]listenerRef
-	rrIdx      map[uint16]int
-	kernLs     map[uint16]*ksocket.Listener
-	policy     Policy
-	secrets    map[uint64]int // fork secret -> parent pid
-	tokens     map[tokKey]*tokState
-	connOwner  map[uint64]int             // qid -> local owner pid
-	remotePend map[uint64]remotePendEntry // connID -> routing for inter-host setup
-	mchans     map[string]*mchan          // remote host -> channel
-	probes     map[string][]*ctlmsg.Msg   // host -> queued connects awaiting mchan
-	probing    map[string]bool            // host -> probe in flight (dedup)
-	mqueue     map[string][]*ctlmsg.Msg   // host -> ctl msgs awaiting a healed mchan
-	probeSeq   uint16
-	probeDone  []probeResult
-	stealSeq   uint64
-	steals     map[uint64]stealReq
-	reqpRoute  map[uint64]string        // qid -> requester host for KReQPRes routing
-	sleepers   map[int]map[int]struct{} // pid -> tids parked in interrupt mode
-	rescueL    *ksocket.Listener        // TCP listener for mid-stream degradation (§4.5.3)
-	conns      map[uint64]*connRec      // qid -> endpoints, for crash cleanup
-	deaths     []int                    // pids awaiting crash cleanup (lifeline queue)
-	deadPIDs   map[int]struct{}         // pids already cleaned up (idempotence)
+	mu        sync.Mutex
+	procs     map[int]*procChan
+	procList  []*procChan // procs sorted by PID; shard loops poll in this order
+	shards    []*mshard   // fixed at shard.DefaultCount for the incarnation's life
+	kernLs    map[uint16]*ksocket.Listener
+	policy    Policy
+	secrets   map[uint64]int           // fork secret -> parent pid
+	mchans    map[string]*mchan        // remote host -> channel
+	probes    map[string][]*ctlmsg.Msg // host -> queued connects awaiting mchan
+	probing   map[string]bool          // host -> probe in flight (dedup)
+	mqueue    map[string][]*ctlmsg.Msg // host -> ctl msgs awaiting a healed mchan
+	probeSeq  uint16
+	probeDone []probeResult
+	rescueL   *ksocket.Listener // TCP listener for mid-stream degradation (§4.5.3)
+	deaths    []int             // pids awaiting crash cleanup (lifeline queue)
+	deadPIDs  map[int]struct{}  // pids already cleaned up (idempotence)
 
 	// Restart survivability: each incarnation carries a monotonically
 	// increasing epoch; messages stamped by a previous incarnation are
@@ -84,8 +85,7 @@ type Monitor struct {
 	hbTimerCb    func() // cached timer callback (one allocation per monitor)
 	lastActivity int64  // last real (non-heartbeat) control-plane traffic
 
-	thread  exec.Thread
-	parked  bool
+	thread  exec.Thread // the router loop; shard loops live on their mshard
 	stopped bool
 
 	// Stats for §6-style accounting.
@@ -93,9 +93,11 @@ type Monitor struct {
 	TokensGranted   int
 }
 
+// procChan is the monitor's half of one process's registration: one
+// control duplex per shard (monitor holds side B; index = shard number).
 type procChan struct {
-	p *host.Process
-	d *shm.Duplex // monitor holds side B
+	p  *host.Process
+	ds []*shm.Duplex
 }
 
 type listenerRef struct {
@@ -150,22 +152,13 @@ func startEpoch(h *host.Host, ks *ksocket.Stack, epoch uint32) *Monitor {
 		KS:          ks,
 		epoch:       epoch,
 		procs:       make(map[int]*procChan),
-		listeners:   make(map[uint16][]listenerRef),
-		rrIdx:       make(map[uint16]int),
 		kernLs:      make(map[uint16]*ksocket.Listener),
 		policy:      func(int, string, uint16) bool { return true },
 		secrets:     make(map[uint64]int),
-		tokens:      make(map[tokKey]*tokState),
-		connOwner:   make(map[uint64]int),
-		remotePend:  make(map[uint64]remotePendEntry),
 		mchans:      make(map[string]*mchan),
 		probes:      make(map[string][]*ctlmsg.Msg),
 		probing:     make(map[string]bool),
 		mqueue:      make(map[string][]*ctlmsg.Msg),
-		steals:      make(map[uint64]stealReq),
-		reqpRoute:   make(map[uint64]string),
-		sleepers:    make(map[int]map[int]struct{}),
-		conns:       make(map[uint64]*connRec),
 		deadPIDs:    make(map[int]struct{}),
 		peerEpochs:  make(map[string]uint32),
 		hbPeers:     make(map[string]struct{}),
@@ -175,6 +168,10 @@ func startEpoch(h *host.Host, ks *ksocket.Stack, epoch uint32) *Monitor {
 		hbDead:      make(map[string]bool),
 		hbLastSent:  make(map[string]int64),
 		probeSeq:    9000,
+	}
+	m.shards = make([]*mshard, shard.DefaultCount)
+	for i := range m.shards {
+		m.shards[i] = newShard(m, i)
 	}
 	// Heartbeat timer callback, created once: armHeartbeat runs on every
 	// park cycle and a fresh closure per arm would show up in steady-state
@@ -214,6 +211,10 @@ func startEpoch(h *host.Host, ks *ksocket.Stack, epoch uint32) *Monitor {
 		}
 	}
 	m.thread = h.RT.SpawnOn(h.NextCore(), h.Name+"/monitor", m.run)
+	for _, sh := range m.shards {
+		sh.thread = h.RT.SpawnOn(h.NextCore(),
+			fmt.Sprintf("%s/monitor/shard%d", h.Name, sh.idx), sh.run)
+	}
 	return m
 }
 
@@ -224,11 +225,12 @@ func (m *Monitor) SetPolicy(p Policy) {
 	m.mu.Unlock()
 }
 
-// Stop terminates the daemon loop. It is idempotent (a second Stop is a
-// no-op) and draining: kernel listeners and the rescue listener are closed
-// so the ports are free for a successor incarnation, and every thread that
-// parked itself against this monitor (KSleepNote) is woken once — a parked
-// sleeper whose only doorbell was this daemon must not leak.
+// Stop terminates the router and every shard loop. It is idempotent (a
+// second Stop is a no-op) and draining: kernel listeners and the rescue
+// listener are closed so the ports are free for a successor incarnation,
+// and every thread that parked itself against this monitor (KSleepNote)
+// is woken once — a parked sleeper whose only doorbell was this daemon
+// must not leak.
 func (m *Monitor) Stop() {
 	m.mu.Lock()
 	if m.stopped {
@@ -245,22 +247,30 @@ func (m *Monitor) Stop() {
 		kls = append(kls, m.rescueL)
 		m.rescueL = nil
 	}
-	asleep := m.sleepers
-	m.sleepers = make(map[int]map[int]struct{})
+	var asleep []waiterRef
+	for _, sh := range m.shards {
+		for pid, tids := range sh.sleepers {
+			for tid := range tids {
+				asleep = append(asleep, waiterRef{pid: pid, tid: tid})
+			}
+		}
+		sh.sleepers = make(map[int]map[int]struct{})
+	}
 	m.mu.Unlock()
 	for _, kl := range kls {
 		kl.Close()
 	}
-	for pid, tids := range asleep {
-		for tid := range tids {
-			m.wakeThread(pid, tid)
-		}
+	for _, w := range asleep {
+		m.wakeThread(w.pid, w.tid)
 	}
-	m.wake()
+	m.wakeAll()
 }
 
 // Epoch returns this incarnation's number (immutable once started).
 func (m *Monitor) Epoch() uint32 { return m.epoch }
+
+// Shards returns the number of control-plane shards this monitor runs.
+func (m *Monitor) Shards() int { return len(m.shards) }
 
 func (m *Monitor) wake() {
 	if m.thread != nil {
@@ -268,22 +278,56 @@ func (m *Monitor) wake() {
 	}
 }
 
-// RegisterProcess gives a process its exclusive control queue (§3: "all
-// the applications loading libsd must establish a SHM queue with the
-// host's monitor daemon").
-func (m *Monitor) RegisterProcess(p *host.Process) *core.ProcLink {
-	d := shm.NewDuplex(ctlRingCap)
-	m.mu.Lock()
-	m.procs[p.PID] = &procChan{p: p, d: d}
-	m.mu.Unlock()
+// wakeShard nudges one shard's dispatch loop (libsd's per-shard doorbell
+// lands here via ProcLink.WakeMonitor).
+func (m *Monitor) wakeShard(i int) {
+	if i >= 0 && i < len(m.shards) {
+		m.shards[i].wake()
+	}
+}
+
+// wakeAll unparks the router and every shard loop.
+func (m *Monitor) wakeAll() {
 	m.wake()
+	for _, sh := range m.shards {
+		sh.wake()
+	}
+}
+
+// rebuildProcList refreshes the PID-sorted snapshot the shard loops poll
+// from. Map iteration order would serve the duplexes in a different order
+// every run, and with it shift every virtual timestamp downstream — the
+// bench suite diffs those numbers run against run, so polling order must
+// be a function of state, not of Go's map hash. Caller holds m.mu.
+func (m *Monitor) rebuildProcList() {
+	m.procList = m.procList[:0]
+	for _, pc := range m.procs {
+		m.procList = append(m.procList, pc)
+	}
+	sort.Slice(m.procList, func(i, j int) bool { return m.procList[i].p.PID < m.procList[j].p.PID })
+}
+
+// RegisterProcess gives a process its exclusive control queues (§3: "all
+// the applications loading libsd must establish a SHM queue with the
+// host's monitor daemon") — one duplex per shard, so each shard loop has
+// a private SPSC plane to this process.
+func (m *Monitor) RegisterProcess(p *host.Process) *core.ProcLink {
+	ds := make([]*shm.Duplex, len(m.shards))
+	for i := range ds {
+		ds[i] = shm.NewDuplex(ctlRingCap)
+	}
+	m.mu.Lock()
+	m.procs[p.PID] = &procChan{p: p, ds: ds}
+	m.rebuildProcList()
+	m.mu.Unlock()
+	m.wakeAll()
 	// The doorbell resolves through h.Mon at ring time, not through this
-	// incarnation: after a restart the successor adopts the duplex, and the
-	// process's nudges must reach the live daemon, not the dead one.
+	// incarnation: after a restart the successor adopts the duplexes, and
+	// the process's nudges must reach the live daemon, not the dead one.
 	h := m.H
-	return &core.ProcLink{D: d, WakeMonitor: func() {
+	return &core.ProcLink{Ds: ds, WakeMonitor: func(s int) {
 		if cur, ok := h.Mon.(*Monitor); ok {
-			cur.wake()
+			cur.wakeShard(s)
 		}
 	}, MonitorHost: m.H.Name, Epoch: m.epoch}
 }
@@ -303,13 +347,16 @@ func (m *Monitor) RegisterChild(p *host.Process, secret uint64) *core.ProcLink {
 	return m.RegisterProcess(p)
 }
 
-// run is the daemon loop.
+// run is the router loop: the one thread that owns globally-keyed work.
+// It drains monitor channels (forwarding keyed messages to the owning
+// shard's inbox), kernel and rescue listeners, probe results, crash
+// cleanup and restart re-registration, and ticks heartbeats. Everything
+// keyed by port/connection/PID runs on the shard loops (shards.go).
 func (m *Monitor) run(ctx exec.Context) {
 	idle := 0
 	// Snapshot scratch, reused across iterations: the daemon spins hot
 	// between parks, and per-iteration slice churn would dominate the
 	// process's allocation profile.
-	var chans []*procChan
 	var mchs []*mchan
 	var kls []*ksocket.Listener
 	var klPorts []uint16
@@ -321,10 +368,6 @@ func (m *Monitor) run(ctx exec.Context) {
 		if m.stopped {
 			m.mu.Unlock()
 			return
-		}
-		chans = chans[:0]
-		for _, pc := range m.procs {
-			chans = append(chans, pc)
 		}
 		mchs = mchs[:0]
 		for _, mc := range m.mchans {
@@ -364,32 +407,6 @@ func (m *Monitor) run(ctx exec.Context) {
 			m.finishProbes(ctx, pr.dst, pr)
 			progress, real = true, true
 		}
-		for _, pc := range chans {
-			for i := 0; i < 64; i++ {
-				msg, ok := pc.d.B().RX.TryRecv()
-				if !ok {
-					break
-				}
-				ctx.Charge(m.H.Costs.RingOp)
-				progress, real = true, true
-				cm, ok2 := ctlmsg.Unmarshal(msg.Payload)
-				if !ok2 {
-					mBadCtlmsg.Inc()
-					continue
-				}
-				if cm.Epoch != m.epoch {
-					// Stamped against a previous incarnation: whatever it
-					// asked for, it asked a daemon that no longer exists;
-					// the sender re-stamps and re-sends on its bounded wait.
-					mStaleDropped.Inc()
-					continue
-				}
-				// Queue hop: sender enqueue (cm.TS) to this dequeue.
-				cm.SpanID = obs.RecordHop(m.H.Name, 0, obs.HopProcRing,
-					uint8(cm.Kind), cm.TraceID, cm.SpanID, cm.TS, ctx.Now())
-				m.handle(ctx, pc, &cm)
-			}
-		}
 		for _, mc := range mchs {
 			for {
 				cm, ok := mc.recv()
@@ -408,7 +425,7 @@ func (m *Monitor) run(ctx exec.Context) {
 				// Flight hop: peer monitor's mchan post (cm.TS) to here.
 				cm.SpanID = obs.RecordHop(m.H.Name, 0, obs.HopMchanFlight,
 					uint8(cm.Kind), cm.TraceID, cm.SpanID, cm.TS, ctx.Now())
-				m.handleRemote(ctx, mc, cm)
+				m.routeRemote(ctx, mc, cm)
 			}
 		}
 		for i, kl := range kls {
@@ -447,7 +464,7 @@ func (m *Monitor) run(ctx exec.Context) {
 			mc.armWake(wakeFn) // fire immediately if traffic raced in
 		}
 		m.armHeartbeat(ctx)
-		ctx.Park() // woken by wakeMon / mchan arrivals / notifications / hb timer
+		ctx.Park() // woken by mchan arrivals / notifications / hb timer
 		// Resume one step short of re-parking: the wake's cargo is drained
 		// in the next iteration, and only *real* traffic (idle = 0 above)
 		// buys back the hot-spin window. A timer or beacon wake re-parks
@@ -456,9 +473,33 @@ func (m *Monitor) run(ctx exec.Context) {
 	}
 }
 
+// routeRemote hands an mchan arrival to the shard owning its key.
+// Heartbeats never leave the router: they carry no state key and their
+// handler (the rate-limited echo) touches only router-owned liveness
+// maps.
+func (m *Monitor) routeRemote(ctx exec.Context, mc *mchan, cm *ctlmsg.Msg) {
+	if cm.Kind == ctlmsg.KMHeartbeat {
+		// Liveness beacon; noteRemote already refreshed the peer's clock.
+		// Echo so a quiet monitor still proves liveness (rate-limited).
+		m.hbEcho(ctx, mc.peer)
+		return
+	}
+	sh := m.shardFor(cm)
+	ev := shardEvent{cm: *cm, mc: mc}
+	if ev.cm.TraceID != 0 {
+		ev.cm.TS = ctx.Now() // routing-hop start for the shard's span
+	}
+	m.mu.Lock()
+	sh.inbox = append(sh.inbox, ev)
+	m.mu.Unlock()
+	sh.wake()
+}
+
 // sendTo queues a control message to a local process and pokes it with a
 // signal if needed (the §4.4 interrupt path is the signal itself; the
-// handler drains the queue when the process is busy outside libsd).
+// handler drains the queue when the process is busy outside libsd). The
+// message travels on the plane its key routes to, so a request and its
+// reply share a shard and per-key ordering holds end to end.
 func (m *Monitor) sendTo(ctx exec.Context, pid int, cm *ctlmsg.Msg, signal bool) {
 	m.mu.Lock()
 	pc := m.procs[pid]
@@ -470,9 +511,11 @@ func (m *Monitor) sendTo(ctx exec.Context, pid int, cm *ctlmsg.Msg, signal bool)
 	if cm.TraceID != 0 {
 		cm.TS = ctx.Now() // queue-hop start for the receiver's span
 	}
+	s := shard.ForMsg(cm, len(m.shards))
+	cm.Shard = uint8(s)
 	var buf [ctlmsg.Size]byte
 	b := cm.Marshal(buf[:])
-	for !pc.d.B().TX.TrySend(0, 0, b) {
+	for !pc.ds[s].B().TX.TrySend(0, 0, b) {
 		if pc.p.Dead() {
 			// A corpse never drains its ring; spinning here would wedge
 			// the whole control plane behind one dead process.
@@ -494,15 +537,17 @@ func (m *Monitor) pidDead(pid int) bool {
 
 // cleanupProcess is the monitor half of the crash path (§3.1: the monitor
 // is the trusted party that must reclaim whatever an untrusted process
-// held). It runs on the daemon thread, so it is serialized with every
-// other control-plane action. In order: forget the corpse's control
-// queue, listener registrations, sleep notes, fork secrets and pending
-// routing state; unstick token arbitration (a revoke sent to the corpse
-// is answered on its behalf, so fork/thread sharers resume via the normal
-// §4.1 takeover path); then notify every peer — KPeerDead to local
-// survivors (plus a wake, they may be parked) and over the monitor
-// channel for inter-host sockets — and remove SHM segments of sockets
-// with no surviving endpoint.
+// held). It runs on the router thread under the shared mutex, sweeping
+// every shard's partition of the corpse's state — so one pass is
+// serialized against all shard dispatch, exactly as the single-loop
+// design was. In order: forget the corpse's control queues, listener
+// registrations, sleep notes, fork secrets and pending routing state;
+// unstick token arbitration (a revoke sent to the corpse is answered on
+// its behalf, so fork/thread sharers resume via the normal §4.1 takeover
+// path); then notify every peer — KPeerDead to local survivors (plus a
+// wake, they may be parked) and over the monitor channel for inter-host
+// sockets — and remove SHM segments of sockets with no surviving
+// endpoint.
 func (m *Monitor) cleanupProcess(ctx exec.Context, pid int) {
 	m.mu.Lock()
 	if _, done := m.deadPIDs[pid]; done {
@@ -511,54 +556,15 @@ func (m *Monitor) cleanupProcess(ctx exec.Context, pid int) {
 	}
 	m.deadPIDs[pid] = struct{}{}
 	delete(m.procs, pid)
-	delete(m.sleepers, pid)
-	for port, refs := range m.listeners {
-		out := refs[:0]
-		for _, r := range refs {
-			if r.pid != pid {
-				out = append(out, r)
-			}
-		}
-		if len(out) == 0 {
-			delete(m.listeners, port)
-		} else {
-			m.listeners[port] = out
-		}
-	}
+	m.rebuildProcList()
 	for sec, owner := range m.secrets {
 		if owner == pid {
 			delete(m.secrets, sec)
 		}
 	}
-	for id, sr := range m.steals {
-		if sr.thiefPID == pid {
-			delete(m.steals, id)
-		}
-	}
-	for connID, e := range m.remotePend {
-		if e.clientPID == pid {
-			delete(m.remotePend, connID)
-		}
-	}
 	// Token arbitration: drop the corpse from waiting lists, and if an
 	// outstanding revoke was addressed to it, answer on its behalf.
 	var regrant []tokKey
-	for key, ts := range m.tokens {
-		out := ts.waiters[:0]
-		for _, w := range ts.waiters {
-			if w.pid != pid {
-				out = append(out, w)
-			}
-		}
-		ts.waiters = out
-		if ts.revokeSent && ts.revokeTo == pid {
-			ts.revokeSent = false
-			ts.revokeTo = 0
-			if len(ts.waiters) > 0 {
-				regrant = append(regrant, key)
-			}
-		}
-	}
 	// Connections: collect the peers to notify.
 	type peerNote struct {
 		qid    uint64
@@ -566,32 +572,74 @@ func (m *Monitor) cleanupProcess(ctx exec.Context, pid int) {
 		remote string // surviving remote host ("" = none)
 	}
 	var notes []peerNote
-	for qid, c := range m.conns {
-		if c.pids[0] != pid && c.pids[1] != pid {
-			continue
-		}
-		if m.connOwner[qid] == pid {
-			delete(m.connOwner, qid)
-		}
-		n := peerNote{qid: qid, remote: c.peerHost}
-		if other := c.pids[0] + c.pids[1] - pid; other != pid && other != 0 && !m.pidDead(other) {
-			n.local = other
-		}
-		if n.local == 0 && c.peerHost == "" {
-			// No endpoint left alive on this host and none remote: the
-			// socket's SHM segment is unreachable garbage now.
-			if c.shmTok != 0 {
-				m.H.SHM.Remove(c.shmTok)
+	for _, sh := range m.shards {
+		delete(sh.sleepers, pid)
+		for port, refs := range sh.listeners {
+			out := refs[:0]
+			for _, r := range refs {
+				if r.pid != pid {
+					out = append(out, r)
+				}
 			}
-			delete(m.conns, qid)
-			continue
+			if len(out) == 0 {
+				delete(sh.listeners, port)
+			} else {
+				sh.listeners[port] = out
+			}
 		}
-		if c.peerHost != "" {
-			// The record covered the (single) local endpoint; the remote
-			// monitor owns the rest of the teardown.
-			delete(m.conns, qid)
+		for id, sr := range sh.steals {
+			if sr.thiefPID == pid {
+				delete(sh.steals, id)
+			}
 		}
-		notes = append(notes, n)
+		for connID, e := range sh.remotePend {
+			if e.clientPID == pid {
+				delete(sh.remotePend, connID)
+			}
+		}
+		for key, ts := range sh.tokens {
+			out := ts.waiters[:0]
+			for _, w := range ts.waiters {
+				if w.pid != pid {
+					out = append(out, w)
+				}
+			}
+			ts.waiters = out
+			if ts.revokeSent && ts.revokeTo == pid {
+				ts.revokeSent = false
+				ts.revokeTo = 0
+				if len(ts.waiters) > 0 {
+					regrant = append(regrant, key)
+				}
+			}
+		}
+		for qid, c := range sh.conns {
+			if c.pids[0] != pid && c.pids[1] != pid {
+				continue
+			}
+			if sh.connOwner[qid] == pid {
+				delete(sh.connOwner, qid)
+			}
+			n := peerNote{qid: qid, remote: c.peerHost}
+			if other := c.pids[0] + c.pids[1] - pid; other != pid && other != 0 && !m.pidDead(other) {
+				n.local = other
+			}
+			if n.local == 0 && c.peerHost == "" {
+				// No endpoint left alive on this host and none remote: the
+				// socket's SHM segment is unreachable garbage now.
+				if c.shmTok != 0 {
+					m.H.SHM.Remove(c.shmTok)
+				}
+				delete(sh.conns, qid)
+				continue
+			}
+			if c.peerHost != "" {
+				// The record covered the (single) local endpoint; the remote
+				// monitor owns the rest of the teardown.
+				delete(sh.conns, qid)
+			}
+			notes = append(notes, n)
+		}
 	}
 	m.mu.Unlock()
 
@@ -624,11 +672,13 @@ func (m *Monitor) cleanupProcess(ctx exec.Context, pid int) {
 // afterwards and reclaims everything else the pid held.
 func (m *Monitor) DetachProcess(pid int) {
 	m.mu.Lock()
-	for qid, c := range m.conns {
-		if c.pids[0] == pid || c.pids[1] == pid {
-			delete(m.conns, qid)
-			if m.connOwner[qid] == pid {
-				delete(m.connOwner, qid)
+	for _, sh := range m.shards {
+		for qid, c := range sh.conns {
+			if c.pids[0] == pid || c.pids[1] == pid {
+				delete(sh.conns, qid)
+				if sh.connOwner[qid] == pid {
+					delete(sh.connOwner, qid)
+				}
 			}
 		}
 	}
@@ -645,42 +695,48 @@ func (m *Monitor) CrashConverged() error {
 			return fmt.Errorf("monitor: dead pid %d still registered", pid)
 		}
 	}
-	for port, refs := range m.listeners {
-		for _, r := range refs {
-			if m.pidDead(r.pid) {
-				return fmt.Errorf("monitor: dead pid %d still listed on port %d", r.pid, port)
+	for _, sh := range m.shards {
+		for port, refs := range sh.listeners {
+			for _, r := range refs {
+				if m.pidDead(r.pid) {
+					return fmt.Errorf("monitor: dead pid %d still listed on port %d", r.pid, port)
+				}
 			}
 		}
-	}
-	for key, ts := range m.tokens {
-		for _, w := range ts.waiters {
-			if m.pidDead(w.pid) {
-				return fmt.Errorf("monitor: dead pid %d still waiting on token %v", w.pid, key)
+		for key, ts := range sh.tokens {
+			for _, w := range ts.waiters {
+				if m.pidDead(w.pid) {
+					return fmt.Errorf("monitor: dead pid %d still waiting on token %v", w.pid, key)
+				}
+			}
+			if ts.revokeSent && ts.revokeTo != 0 && m.pidDead(ts.revokeTo) {
+				return fmt.Errorf("monitor: revoke outstanding to dead pid %d on token %v", ts.revokeTo, key)
 			}
 		}
-		if ts.revokeSent && ts.revokeTo != 0 && m.pidDead(ts.revokeTo) {
-			return fmt.Errorf("monitor: revoke outstanding to dead pid %d on token %v", ts.revokeTo, key)
+		for pid := range sh.sleepers {
+			if m.pidDead(pid) {
+				return fmt.Errorf("monitor: dead pid %d still has sleep notes", pid)
+			}
 		}
-	}
-	for pid := range m.sleepers {
-		if m.pidDead(pid) {
-			return fmt.Errorf("monitor: dead pid %d still has sleep notes", pid)
-		}
-	}
-	for qid, c := range m.conns {
-		if c.peerHost != "" {
-			continue
-		}
-		a, b := c.pids[0], c.pids[1]
-		if (a == 0 || m.pidDead(a)) && (b == 0 || m.pidDead(b)) {
-			return fmt.Errorf("monitor: conn %d has no live endpoint but was not reclaimed", qid)
+		for qid, c := range sh.conns {
+			if c.peerHost != "" {
+				continue
+			}
+			a, b := c.pids[0], c.pids[1]
+			if (a == 0 || m.pidDead(a)) && (b == 0 || m.pidDead(b)) {
+				return fmt.Errorf("monitor: conn %d has no live endpoint but was not reclaimed", qid)
+			}
 		}
 	}
 	return nil
 }
 
-func (m *Monitor) handle(ctx exec.Context, pc *procChan, cm *ctlmsg.Msg) {
+// handle processes one message off a process control ring. sh is the
+// shard whose loop dequeued it (always the shard the message's key routes
+// to — libsd picked the plane with the same function).
+func (m *Monitor) handle(ctx exec.Context, sh *mshard, pc *procChan, cm *ctlmsg.Msg) {
 	countCtl(cm.Kind)
+	sh.cEvents.Inc()
 	if telemetry.Trace.Enabled() {
 		telemetry.Trace.Emit(ctx.Now(), "monitor", "ctl/"+cm.Kind.String(),
 			telemetry.A("pid", cm.PID))
@@ -695,9 +751,14 @@ func (m *Monitor) handle(ctx exec.Context, pc *procChan, cm *ctlmsg.Msg) {
 		cm.SpanID = sid
 	}
 	kind := uint8(cm.Kind)
+	// The paper's monitor spends real CPU per dispatched message (§6:
+	// 5.3 M conns/s); handlers that only mutate Go maps would otherwise
+	// take zero virtual time and make the shard latency numbers vacuous.
+	ctx.Charge(m.H.Costs.MonDispatch)
 	m.dispatch(ctx, pc, cm)
 	end := ctx.Now()
 	mDispatchIntra.Observe(end - start)
+	sh.dDispatch.Observe(end - start)
 	if sid != 0 {
 		obs.Record(obs.Span{
 			Trace: trace, Span: sid, Parent: parent, Start: start, End: end,
@@ -710,6 +771,10 @@ func (m *Monitor) handle(ctx exec.Context, pc *procChan, cm *ctlmsg.Msg) {
 }
 
 // dispatch is handle's routing switch, split out so handle can time it.
+// Handlers reach partitioned state through the shard owning the message's
+// key (shardOf*), which for every case below is the shard whose loop is
+// executing — the wire routing and the state partitioning use the same
+// function.
 func (m *Monitor) dispatch(ctx exec.Context, pc *procChan, cm *ctlmsg.Msg) {
 	switch cm.Kind {
 	case ctlmsg.KListen:
@@ -724,8 +789,10 @@ func (m *Monitor) dispatch(ctx exec.Context, pc *procChan, cm *ctlmsg.Msg) {
 		m.mu.Lock()
 		m.secrets[cm.Secret] = int(cm.PID)
 		m.mu.Unlock()
-		// Ack so the parent knows the deposit landed before it forks.
-		ack := ctlmsg.Msg{Kind: ctlmsg.KForkSecret, Secret: cm.Secret, Status: ctlmsg.StatusOK}
+		// Ack so the parent knows the deposit landed before it forks. The
+		// PID keeps the reply on the request's shard plane.
+		ack := ctlmsg.Msg{Kind: ctlmsg.KForkSecret, Secret: cm.Secret,
+			PID: cm.PID, Status: ctlmsg.StatusOK}
 		m.sendTo(ctx, int(cm.PID), &ack, false)
 	case ctlmsg.KWake:
 		m.wakeThread(int(cm.PID), int(cm.TID))
@@ -734,17 +801,20 @@ func (m *Monitor) dispatch(ctx exec.Context, pc *procChan, cm *ctlmsg.Msg) {
 		// (KReQPPeer/KReQPRes/KDegraded) can nudge it: a process whose only
 		// RDMA path is dead has no CQE or ring doorbell left to wake it.
 		m.mu.Lock()
-		ts := m.sleepers[int(cm.PID)]
+		sl := m.shardOfPID(int(cm.PID)).sleepers
+		ts := sl[int(cm.PID)]
 		if ts == nil {
 			ts = make(map[int]struct{})
-			m.sleepers[int(cm.PID)] = ts
+			sl[int(cm.PID)] = ts
 		}
 		ts[int(cm.TID)] = struct{}{}
 		m.mu.Unlock()
 	case ctlmsg.KPing:
 		// Liveness probe from a bounded control-plane wait: any answer —
-		// stamped with the current epoch — proves the daemon is alive.
-		pong := ctlmsg.Msg{Kind: ctlmsg.KPong, PID: cm.PID}
+		// stamped with the current epoch — proves this shard's loop is
+		// alive. The echoed Shard field keeps the pong on the pinged plane
+		// (KPong has no state key; the stamp IS its address).
+		pong := ctlmsg.Msg{Kind: ctlmsg.KPong, PID: cm.PID, Shard: cm.Shard}
 		m.sendTo(ctx, int(cm.PID), &pong, false)
 	case ctlmsg.KReRegistered:
 		m.onReRegistered(ctx, pc, cm)
@@ -758,7 +828,7 @@ func (m *Monitor) dispatch(ctx exec.Context, pc *procChan, cm *ctlmsg.Msg) {
 		// Server libsd finished building its endpoint: relay to the
 		// client's monitor.
 		m.mu.Lock()
-		entry, ok := m.remotePend[cm.ConnID]
+		entry, ok := m.shardOf(cm.ConnID).remotePend[cm.ConnID]
 		m.mu.Unlock()
 		if ok && entry.clientHost != m.H.Name {
 			m.mchanSend(ctx, entry.clientHost, cm, true)
@@ -769,7 +839,7 @@ func (m *Monitor) dispatch(ctx exec.Context, pc *procChan, cm *ctlmsg.Msg) {
 		// Peer libsd built the extra QP; route back to the forked child's
 		// host monitor.
 		m.mu.Lock()
-		dst := m.reqpRoute[cm.QID]
+		dst := m.shardOf(cm.QID).reqpRoute[cm.QID]
 		m.mu.Unlock()
 		if dst != "" {
 			// Not queued on a dead channel: the requester re-sends KReQP on
@@ -821,17 +891,20 @@ func (m *Monitor) mchanSend(ctx exec.Context, dst string, cm *ctlmsg.Msg, queue 
 // missing a wake is not, since a process with a dead QP gets no doorbell.
 func (m *Monitor) wakeSleepers(pid int) {
 	m.mu.Lock()
-	tids := m.sleepers[pid]
-	delete(m.sleepers, pid)
+	sl := m.shardOfPID(pid).sleepers
+	tids := sl[pid]
+	delete(sl, pid)
 	m.mu.Unlock()
 	for tid := range tids {
 		m.wakeThread(pid, tid)
 	}
 }
 
-// handleRemote processes a message arriving on a monitor channel.
-func (m *Monitor) handleRemote(ctx exec.Context, mc *mchan, cm *ctlmsg.Msg) {
+// handleRemote processes a message routed to shard sh off a monitor
+// channel.
+func (m *Monitor) handleRemote(ctx exec.Context, sh *mshard, mc *mchan, cm *ctlmsg.Msg) {
 	countCtl(cm.Kind)
+	sh.cEvents.Inc()
 	if telemetry.Trace.Enabled() {
 		telemetry.Trace.Emit(ctx.Now(), "monitor", "remote/"+cm.Kind.String(),
 			telemetry.A("port", int64(cm.Port)))
@@ -844,9 +917,11 @@ func (m *Monitor) handleRemote(ctx exec.Context, mc *mchan, cm *ctlmsg.Msg) {
 		cm.SpanID = sid
 	}
 	kind := uint8(cm.Kind)
+	ctx.Charge(m.H.Costs.MonDispatch)
 	m.dispatchRemote(ctx, mc, cm)
 	end := ctx.Now()
 	mDispatchInter.Observe(end - start)
+	sh.dDispatch.Observe(end - start)
 	if sid != 0 {
 		obs.Record(obs.Span{
 			Trace: trace, Span: sid, Parent: parent, Start: start, End: end,
@@ -862,8 +937,9 @@ func (m *Monitor) handleRemote(ctx exec.Context, mc *mchan, cm *ctlmsg.Msg) {
 func (m *Monitor) dispatchRemote(ctx exec.Context, mc *mchan, cm *ctlmsg.Msg) {
 	switch cm.Kind {
 	case ctlmsg.KMSyn:
+		sh := m.shardOf(cm.ConnID)
 		m.mu.Lock()
-		_, dup := m.conns[cm.ConnID]
+		_, dup := sh.conns[cm.ConnID]
 		m.mu.Unlock()
 		if dup {
 			// A re-sent SYN (the client's monitor restarted and replayed
@@ -878,9 +954,9 @@ func (m *Monitor) dispatchRemote(ctx exec.Context, mc *mchan, cm *ctlmsg.Msg) {
 			return
 		}
 		m.mu.Lock()
-		m.remotePend[cm.ConnID] = remotePendEntry{clientHost: mc.peer}
-		m.connOwner[cm.ConnID] = ref.pid
-		m.conns[cm.ConnID] = &connRec{pids: [2]int{0, ref.pid}, peerHost: mc.peer}
+		sh.remotePend[cm.ConnID] = remotePendEntry{clientHost: mc.peer}
+		sh.connOwner[cm.ConnID] = ref.pid
+		sh.conns[cm.ConnID] = &connRec{pids: [2]int{0, ref.pid}, peerHost: mc.peer}
 		m.ConnsDispatched++
 		m.mu.Unlock()
 		mDispatches.Inc()
@@ -893,7 +969,7 @@ func (m *Monitor) dispatchRemote(ctx exec.Context, mc *mchan, cm *ctlmsg.Msg) {
 		m.sendTo(ctx, ref.pid, &nc, true)
 	case ctlmsg.KMSynAck:
 		m.mu.Lock()
-		entry := m.remotePend[cm.ConnID]
+		entry := m.shardOf(cm.ConnID).remotePend[cm.ConnID]
 		m.mu.Unlock()
 		res := *cm
 		res.Kind = ctlmsg.KConnectRes
@@ -902,15 +978,17 @@ func (m *Monitor) dispatchRemote(ctx exec.Context, mc *mchan, cm *ctlmsg.Msg) {
 		res.SetHost(mc.peer) // server host
 		m.sendTo(ctx, entry.clientPID, &res, false)
 	case ctlmsg.KMRefused:
+		sh := m.shardOf(cm.ConnID)
 		m.mu.Lock()
-		entry := m.remotePend[cm.ConnID]
-		delete(m.remotePend, cm.ConnID)
+		entry := sh.remotePend[cm.ConnID]
+		delete(sh.remotePend, cm.ConnID)
 		m.mu.Unlock()
 		m.fail(ctx, entry.clientPID, cm, ctlmsg.StatusNoListener)
 	case ctlmsg.KReQPPeer:
+		sh := m.shardOf(cm.QID)
 		m.mu.Lock()
-		owner := m.connOwner[cm.QID]
-		m.reqpRoute[cm.QID] = mc.peer
+		owner := sh.connOwner[cm.QID]
+		sh.reqpRoute[cm.QID] = mc.peer
 		m.mu.Unlock()
 		if owner != 0 {
 			m.sendTo(ctx, owner, cm, true)
@@ -924,19 +1002,16 @@ func (m *Monitor) dispatchRemote(ctx exec.Context, mc *mchan, cm *ctlmsg.Msg) {
 		// The remote monitor reclaimed a crashed process; tell the local
 		// endpoint of the socket (and wake it — it may be parked with no
 		// doorbell left to ring).
+		sh := m.shardOf(cm.QID)
 		m.mu.Lock()
-		owner := m.connOwner[cm.QID]
-		delete(m.conns, cm.QID)
-		delete(m.connOwner, cm.QID)
+		owner := sh.connOwner[cm.QID]
+		delete(sh.conns, cm.QID)
+		delete(sh.connOwner, cm.QID)
 		m.mu.Unlock()
 		if owner != 0 {
 			m.sendTo(ctx, owner, cm, true)
 			m.wakeSleepers(owner)
 		}
-	case ctlmsg.KMHeartbeat:
-		// Liveness beacon; noteRemote already refreshed the peer's clock.
-		// Echo so a quiet monitor still proves liveness (rate-limited).
-		m.hbEcho(ctx, mc.peer)
 	}
 }
 
@@ -958,12 +1033,13 @@ func (m *Monitor) wakeThread(pid, tid int) {
 // --- listen / bind ---
 
 func (m *Monitor) onListen(ctx exec.Context, pc *procChan, cm *ctlmsg.Msg) {
+	sh := m.shardOfPort(cm.Port)
 	if cm.Status == 1 { // remove
 		m.mu.Lock()
-		refs := m.listeners[cm.Port]
+		refs := sh.listeners[cm.Port]
 		for i, r := range refs {
 			if r.pid == int(cm.PID) && r.tid == int(cm.TID) {
-				m.listeners[cm.Port] = append(refs[:i], refs[i+1:]...)
+				sh.listeners[cm.Port] = append(refs[:i], refs[i+1:]...)
 				break
 			}
 		}
@@ -987,15 +1063,16 @@ func (m *Monitor) onListen(ctx exec.Context, pc *procChan, cm *ctlmsg.Msg) {
 // service (§4.5.3). Shared by the bind path and restart resurrection; a
 // duplicate registration (re-sent bind, replayed report) is a no-op.
 func (m *Monitor) addListener(port uint16, pid, tid int) {
+	sh := m.shardOfPort(port)
 	ref := listenerRef{pid: pid, tid: tid}
 	m.mu.Lock()
-	for _, r := range m.listeners[port] {
+	for _, r := range sh.listeners[port] {
 		if r == ref {
 			m.mu.Unlock()
 			return
 		}
 	}
-	m.listeners[port] = append(m.listeners[port], ref)
+	sh.listeners[port] = append(sh.listeners[port], ref)
 	needKern := m.KS != nil && m.kernLs[port] == nil
 	m.mu.Unlock()
 	if needKern {
@@ -1008,16 +1085,20 @@ func (m *Monitor) addListener(port uint16, pid, tid int) {
 	}
 }
 
-// pickListener round-robins over a port's listeners (§4.5.2).
+// pickListener round-robins over a port's listeners (§4.5.2). Callable
+// from any loop: a connect's shard (keyed by connection ID) is usually
+// not the port's shard, and this cross-shard read under the shared mutex
+// is the deliberate thin path between partitions.
 func (m *Monitor) pickListener(port uint16) (listenerRef, bool) {
+	sh := m.shardOfPort(port)
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	refs := m.listeners[port]
+	refs := sh.listeners[port]
 	if len(refs) == 0 {
 		return listenerRef{}, false
 	}
-	i := m.rrIdx[port] % len(refs)
-	m.rrIdx[port] = i + 1
+	i := sh.rrIdx[port] % len(refs)
+	sh.rrIdx[port] = i + 1
 	return refs[i], true
 }
 
@@ -1027,14 +1108,15 @@ func (m *Monitor) onConnect(ctx exec.Context, pc *procChan, cm *ctlmsg.Msg) {
 	dst := cm.HostStr()
 	m.mu.Lock()
 	allowed := m.policy(pc.p.UID, dst, cm.Port)
+	dup := false
+	if _, ok := m.shardOf(cm.ConnID).conns[cm.ConnID]; ok {
+		dup = true
+	}
 	m.mu.Unlock()
 	if !allowed {
 		m.fail(ctx, pc.p.PID, cm, ctlmsg.StatusDenied)
 		return
 	}
-	m.mu.Lock()
-	_, dup := m.conns[cm.ConnID]
-	m.mu.Unlock()
 	if dup {
 		// A bounded wait re-sent this connect; the first copy was already
 		// dispatched and its KConnectRes is in (or on its way to) the
@@ -1055,10 +1137,11 @@ func (m *Monitor) onConnect(ctx exec.Context, pc *procChan, cm *ctlmsg.Msg) {
 // against bounded-wait re-sends, not probe re-drives — would drop them.
 func (m *Monitor) connectRemote(ctx exec.Context, cm *ctlmsg.Msg) {
 	dst := cm.HostStr()
+	sh := m.shardOf(cm.ConnID)
 	m.mu.Lock()
-	m.connOwner[cm.ConnID] = int(cm.PID)
-	m.conns[cm.ConnID] = &connRec{pids: [2]int{int(cm.PID), 0}, peerHost: dst}
-	m.remotePend[cm.ConnID] = remotePendEntry{clientPID: int(cm.PID)}
+	sh.connOwner[cm.ConnID] = int(cm.PID)
+	sh.conns[cm.ConnID] = &connRec{pids: [2]int{int(cm.PID), 0}, peerHost: dst}
+	sh.remotePend[cm.ConnID] = remotePendEntry{clientPID: int(cm.PID)}
 	mc := m.mchans[dst]
 	if mc != nil && mc.qp.State() == rdma.QPErr {
 		// The channel's QP died (partition, injected fault): drop it and
@@ -1105,11 +1188,12 @@ func (m *Monitor) dispatchIntra(ctx exec.Context, pc *procChan, cm *ctlmsg.Msg) 
 		m.fail(ctx, pc.p.PID, cm, ctlmsg.StatusNoListener)
 		return
 	}
-	is := core.NewIntraSock(cm.ConnID, sockRingCap)
+	is := core.NewIntraSock(cm.ConnID, SockRingCap())
 	seg := m.H.SHM.Create(fmt.Sprintf("intra-%d", cm.ConnID), is)
+	sh := m.shardOf(cm.ConnID)
 	m.mu.Lock()
-	m.connOwner[cm.ConnID] = ref.pid
-	m.conns[cm.ConnID] = &connRec{pids: [2]int{pc.p.PID, ref.pid}, shmTok: seg.Token}
+	sh.connOwner[cm.ConnID] = ref.pid
+	sh.conns[cm.ConnID] = &connRec{pids: [2]int{pc.p.PID, ref.pid}, shmTok: seg.Token}
 	m.ConnsDispatched++
 	m.mu.Unlock()
 	mDispatches.Inc()
@@ -1131,18 +1215,37 @@ func (m *Monitor) dispatchIntra(ctx exec.Context, pc *procChan, cm *ctlmsg.Msg) 
 	m.sendTo(ctx, pc.p.PID, &res, false)
 }
 
-// sockRingCap matches core's per-socket ring size.
-const sockRingCap = 128 * 1024
+// sockRingCap is the per-direction ring size of dispatched intra-host
+// sockets, matching core's default. It is a variable, not a constant,
+// because ring memory is the footprint limiter at connection scale: 100k
+// sockets x two 128 KiB rings is ~25 GB, while a connection-scale drill
+// that only churns setup/teardown needs a few KiB per ring. Atomic so a
+// drill can shrink it while monitors from an earlier scenario still run.
+var sockRingCap = func() *atomic.Int64 {
+	v := new(atomic.Int64)
+	v.Store(128 * 1024)
+	return v
+}()
+
+// SockRingCap returns the ring size used for newly dispatched intra-host
+// sockets.
+func SockRingCap() int { return int(sockRingCap.Load()) }
+
+// SetSockRingCap overrides the ring size for subsequently dispatched
+// intra-host sockets and returns the previous value. Existing sockets are
+// unaffected.
+func SetSockRingCap(n int) int { return int(sockRingCap.Swap(int64(n))) }
 
 // --- token arbitration (§4.1.1) ---
 
 func (m *Monitor) onTakeover(ctx exec.Context, pc *procChan, cm *ctlmsg.Msg) {
 	key := tokKey{qid: cm.QID, dir: cm.Dir, side: cm.SrcPort}
+	sh := m.shardOf(key.qid)
 	m.mu.Lock()
-	ts := m.tokens[key]
+	ts := sh.tokens[key]
 	if ts == nil {
 		ts = &tokState{}
-		m.tokens[key] = ts
+		sh.tokens[key] = ts
 	}
 	me := waiterRef{pid: int(cm.PID), tid: int(cm.TID)}
 	dup := false
@@ -1186,8 +1289,9 @@ func (m *Monitor) onTakeover(ctx exec.Context, pc *procChan, cm *ctlmsg.Msg) {
 // setRevoke marks an outstanding token revoke addressed to pid; crash
 // cleanup answers it if pid dies before returning the token.
 func (m *Monitor) setRevoke(key tokKey, pid int) {
+	sh := m.shardOf(key.qid)
 	m.mu.Lock()
-	if ts := m.tokens[key]; ts != nil {
+	if ts := sh.tokens[key]; ts != nil {
 		ts.revokeSent = true
 		ts.revokeTo = pid
 	}
@@ -1195,16 +1299,18 @@ func (m *Monitor) setRevoke(key tokKey, pid int) {
 }
 
 func tsRevoking(m *Monitor, key tokKey) bool {
+	sh := m.shardOf(key.qid)
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	ts := m.tokens[key]
+	ts := sh.tokens[key]
 	return ts != nil && ts.revokeSent
 }
 
 func (m *Monitor) onTokenReturned(ctx exec.Context, cm *ctlmsg.Msg) {
 	key := tokKey{qid: cm.QID, dir: cm.Dir, side: cm.SrcPort}
+	sh := m.shardOf(key.qid)
 	m.mu.Lock()
-	ts := m.tokens[key]
+	ts := sh.tokens[key]
 	if ts != nil {
 		ts.revokeSent = false
 		ts.revokeTo = 0
@@ -1217,8 +1323,9 @@ func (m *Monitor) onTokenReturned(ctx exec.Context, cm *ctlmsg.Msg) {
 }
 
 func (m *Monitor) grantNext(ctx exec.Context, key tokKey) {
+	sh := m.shardOf(key.qid)
 	m.mu.Lock()
-	ts := m.tokens[key]
+	ts := sh.tokens[key]
 	if ts == nil || len(ts.waiters) == 0 {
 		m.mu.Unlock()
 		return
@@ -1246,9 +1353,10 @@ func (m *Monitor) grantNext(ctx exec.Context, key tokKey) {
 // --- work stealing (§4.5.2) ---
 
 func (m *Monitor) onAcceptHint(ctx exec.Context, pc *procChan, cm *ctlmsg.Msg) {
+	sh := m.shardOfPort(cm.Port)
 	// Pick a victim: any other listener on the port.
 	m.mu.Lock()
-	refs := m.listeners[cm.Port]
+	refs := sh.listeners[cm.Port]
 	var victim *listenerRef
 	for i := range refs {
 		if refs[i].pid != int(cm.PID) || refs[i].tid != int(cm.TID) {
@@ -1260,18 +1368,19 @@ func (m *Monitor) onAcceptHint(ctx exec.Context, pc *procChan, cm *ctlmsg.Msg) {
 		m.mu.Unlock()
 		return
 	}
-	m.stealSeq++
-	id := m.stealSeq
-	m.steals[id] = stealReq{thiefPID: int(cm.PID), thiefTID: int(cm.TID), port: cm.Port}
+	sh.stealSeq++
+	id := sh.stealSeq
+	sh.steals[id] = stealReq{thiefPID: int(cm.PID), thiefTID: int(cm.TID), port: cm.Port}
 	m.mu.Unlock()
 	req := ctlmsg.Msg{Kind: ctlmsg.KStealReq, Port: cm.Port, TID: int64(victim.tid), Aux: id}
 	m.sendTo(ctx, victim.pid, &req, true)
 }
 
 func (m *Monitor) onStealRes(ctx exec.Context, pc *procChan, cm *ctlmsg.Msg) {
+	sh := m.shardOfPort(cm.Port)
 	m.mu.Lock()
-	sr, ok := m.steals[cm.Aux]
-	delete(m.steals, cm.Aux)
+	sr, ok := sh.steals[cm.Aux]
+	delete(sh.steals, cm.Aux)
 	m.mu.Unlock()
 	if !ok || cm.Status != ctlmsg.StatusOK {
 		return
@@ -1282,9 +1391,12 @@ func (m *Monitor) onStealRes(ctx exec.Context, pc *procChan, cm *ctlmsg.Msg) {
 	nc.Kind = ctlmsg.KNewConn
 	nc.Status = 0
 	nc.TID = int64(sr.thiefTID)
+	// The stolen connection's records live on the connection's shard,
+	// which is generally not this (port-keyed) one.
+	csh := m.shardOf(cm.ConnID)
 	m.mu.Lock()
-	m.connOwner[cm.ConnID] = sr.thiefPID
-	if c := m.conns[cm.ConnID]; c != nil {
+	csh.connOwner[cm.ConnID] = sr.thiefPID
+	if c := csh.conns[cm.ConnID]; c != nil {
 		c.pids[1] = sr.thiefPID // the stolen conn now terminates at the thief
 	}
 	m.mu.Unlock()

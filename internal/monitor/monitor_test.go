@@ -62,7 +62,7 @@ func TestRegisterChildRejectsWrongParent(t *testing.T) {
 func TestListenerRoundRobinOrder(t *testing.T) {
 	_, ma, _, _, _ := newHostPair()
 	ma.mu.Lock()
-	ma.listeners[80] = []listenerRef{{pid: 1, tid: 1}, {pid: 2, tid: 1}, {pid: 3, tid: 1}}
+	ma.shardOfPort(80).listeners[80] = []listenerRef{{pid: 1, tid: 1}, {pid: 2, tid: 1}, {pid: 3, tid: 1}}
 	ma.mu.Unlock()
 	var order []int
 	for i := 0; i < 6; i++ {
@@ -100,7 +100,7 @@ func TestMchanCarriesControlMessages(t *testing.T) {
 		// client — the observable effect here is simply that both
 		// daemons stayed live and the channel round-tripped.
 		mb.mu.Lock()
-		_, pending := mb.remotePend[99]
+		_, pending := mb.shardOf(99).remotePend[99]
 		mb.mu.Unlock()
 		if pending {
 			t.Error("refused connection left pending state")

@@ -48,10 +48,11 @@ func Restart(h *host.Host) *Monitor {
 		m.procs[pc.p.PID] = pc
 		m.needReReg = append(m.needReReg, pc.p.PID)
 	}
+	m.rebuildProcList()
 	m.mu.Unlock()
 	mRestarts.Inc()
 	obs.Trigger(obs.TrigMonitorRestart, h.Clk.Now(), "monitor restart: "+h.Name)
-	m.wake()
+	m.wakeAll()
 	return m
 }
 
@@ -73,7 +74,8 @@ func (m *Monitor) reRegister(ctx exec.Context, pid int) {
 		})
 	}
 	op := obs.BeginOp(m.H.Name, 0, obs.OpReRegister, ctx.Now())
-	rm := ctlmsg.Msg{Kind: ctlmsg.KReRegister, TraceID: op.Trace, SpanID: op.Span}
+	rm := ctlmsg.Msg{Kind: ctlmsg.KReRegister, PID: int64(pid),
+		TraceID: op.Trace, SpanID: op.Span}
 	m.sendTo(ctx, pid, &rm, true)
 	op.End(ctx.Now(), true)
 }
@@ -96,11 +98,12 @@ func (m *Monitor) onReRegistered(ctx exec.Context, pc *procChan, cm *ctlmsg.Msg)
 		if peer == m.H.Name {
 			peer = ""
 		}
+		sh := m.shardOf(cm.QID)
 		m.mu.Lock()
-		c := m.conns[cm.QID]
+		c := sh.conns[cm.QID]
 		if c == nil {
 			c = &connRec{}
-			m.conns[cm.QID] = c
+			sh.conns[cm.QID] = c
 		}
 		if peer != "" {
 			c.peerHost = peer
@@ -115,8 +118,8 @@ func (m *Monitor) onReRegistered(ctx exec.Context, pc *procChan, cm *ctlmsg.Msg)
 			// reclaim the socket's segment once no endpoint survives.
 			c.shmTok = shm.Token(cm.ShmToken)
 		}
-		if m.connOwner[cm.QID] == 0 {
-			m.connOwner[cm.QID] = pid
+		if sh.connOwner[cm.QID] == 0 {
+			sh.connOwner[cm.QID] = pid
 		}
 		needChan := peer != "" && m.mchans[peer] == nil
 		m.mu.Unlock()
@@ -136,10 +139,11 @@ func (m *Monitor) onReRegistered(ctx exec.Context, pc *procChan, cm *ctlmsg.Msg)
 		// A thread parked in interrupt mode: restore its sleep note so
 		// recovery-path messages can ring its doorbell again.
 		m.mu.Lock()
-		ts := m.sleepers[pid]
+		sl := m.shardOfPID(pid).sleepers
+		ts := sl[pid]
 		if ts == nil {
 			ts = make(map[int]struct{})
-			m.sleepers[pid] = ts
+			sl[pid] = ts
 		}
 		ts[int(cm.TID)] = struct{}{}
 		m.mu.Unlock()
@@ -147,9 +151,10 @@ func (m *Monitor) onReRegistered(ctx exec.Context, pc *procChan, cm *ctlmsg.Msg)
 		// An in-flight connect that was awaiting KConnectRes: restore the
 		// reply routing so the server side's KMSynAck (or the client's
 		// own re-sent KConnect) can complete it.
+		sh := m.shardOf(cm.ConnID)
 		m.mu.Lock()
-		if _, ok := m.remotePend[cm.ConnID]; !ok {
-			m.remotePend[cm.ConnID] = remotePendEntry{clientPID: pid}
+		if _, ok := sh.remotePend[cm.ConnID]; !ok {
+			sh.remotePend[cm.ConnID] = remotePendEntry{clientPID: pid}
 		}
 		m.mu.Unlock()
 	case ctlmsg.ReRegDone:

@@ -18,7 +18,7 @@ func TestStopIdempotentAndDraining(t *testing.T) {
 		// A thread parked in interrupt mode whose only doorbell is the
 		// monitor (the state a KSleepNote records).
 		ma.mu.Lock()
-		ma.sleepers[p.PID] = map[int]struct{}{th.TID: {}}
+		ma.shardOfPID(p.PID).sleepers[p.PID] = map[int]struct{}{th.TID: {}}
 		ma.mu.Unlock()
 		ctx.Park()
 		woke = true
@@ -53,8 +53,8 @@ func TestHeartbeatConfirmsDeadHost(t *testing.T) {
 	// fan-out must reset exactly this record.
 	const qid = 501
 	ma.mu.Lock()
-	ma.conns[qid] = &connRec{pids: [2]int{p.PID, 0}, peerHost: "b"}
-	ma.connOwner[qid] = p.PID
+	ma.shardOf(qid).conns[qid] = &connRec{pids: [2]int{p.PID, 0}, peerHost: "b"}
+	ma.shardOf(qid).connOwner[qid] = p.PID
 	ma.mu.Unlock()
 
 	before := telemetry.Capture()
@@ -87,7 +87,7 @@ func TestHeartbeatConfirmsDeadHost(t *testing.T) {
 	}
 	ma.mu.Lock()
 	dead := ma.hbDead["b"]
-	_, stillConn := ma.conns[qid]
+	_, stillConn := ma.shardOf(qid).conns[qid]
 	_, stillChan := ma.mchans["b"]
 	ma.mu.Unlock()
 	if !dead {

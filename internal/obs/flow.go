@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"socksdirect/internal/ctlmsg"
+	"socksdirect/internal/monitor/shard"
 )
 
 // FlowState is a connection's lifecycle state as the flow table sees it.
@@ -181,6 +182,7 @@ type FlowSnapshot struct {
 	Resets    int64  `json:"resets"`
 	RingHW    int64  `json:"ring_hw"` // send-ring occupancy high-water, bytes
 	Epoch     uint32 `json:"epoch"`   // monitor incarnation the endpoint last saw
+	Shard     int    `json:"shard"`   // monitor control-plane shard owning the QID
 }
 
 var flows struct {
@@ -223,6 +225,7 @@ func Flows() []FlowSnapshot {
 			Takeovers: f.takeovers.Load(),
 			Recovs:    f.recoveries.Load(),
 			Resets:    f.resets.Load(),
+			Shard:     shard.Of(f.key.QID, shard.DefaultCount),
 		}
 		if f.probe != nil {
 			f.probe(&s)

@@ -88,19 +88,21 @@ type Hop uint8
 // (HopMonDispatch / HopPeerDispatch: time inside the monitor's handler),
 // and — across hosts — an mchan flight hop.
 const (
-	HopApp          Hop = iota // root: the blocking API call itself
-	HopProcRing                // SHM control-ring queue (libsd <-> monitor)
-	HopMonDispatch             // local monitor handler
-	HopMchanFlight             // monitor-to-monitor RDMA channel
-	HopPeerDispatch            // remote monitor handler
+	HopApp           Hop = iota // root: the blocking API call itself
+	HopProcRing                 // SHM control-ring queue (libsd <-> monitor)
+	HopMonDispatch              // local monitor handler
+	HopMchanFlight              // monitor-to-monitor RDMA channel
+	HopPeerDispatch             // remote monitor handler
+	HopShardDispatch            // router -> shard inbox (sharded monitor routing)
 )
 
 var hopNames = [...]string{
-	HopApp:          "app",
-	HopProcRing:     "proc_ring",
-	HopMonDispatch:  "mon_dispatch",
-	HopMchanFlight:  "mchan_flight",
-	HopPeerDispatch: "peer_dispatch",
+	HopApp:           "app",
+	HopProcRing:      "proc_ring",
+	HopMonDispatch:   "mon_dispatch",
+	HopMchanFlight:   "mchan_flight",
+	HopPeerDispatch:  "peer_dispatch",
+	HopShardDispatch: "shard_dispatch",
 }
 
 // String returns the hop's stable lower-case name.

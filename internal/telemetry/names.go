@@ -1,5 +1,7 @@
 package telemetry
 
+import "strconv"
+
 // Registered metric names. The namespace is hierarchical by layer:
 //
 //	sd/shm/...      SPSC shared-memory rings (transport bottom)
@@ -80,6 +82,10 @@ const (
 	MonDispatchIntra = "sd/monitor/dispatch_ns/intra" // distribution, ns
 	MonDispatchInter = "sd/monitor/dispatch_ns/inter" // distribution, ns
 
+	// MonShardPrefix roots the per-shard dispatch-plane names (see
+	// MonShardDispatch / MonShardEvents below for the templated leaves).
+	MonShardPrefix = "sd/monitor/shard"
+
 	// causal op-tracing + flight recorder (internal/obs).
 	ObsSpans     = "sd/obs/spans"      // spans recorded across all rings
 	ObsDropped   = "sd/obs/dropped"    // spans overwritten after a ring filled
@@ -126,3 +132,19 @@ const (
 	FaultBackoffNs        = "sd/fault/backoff_ns"
 	FaultDegradations     = "sd/fault/degradations"
 )
+
+// MonShardDispatch names shard i's dispatch-latency distribution
+// (nanoseconds per control message handled by that shard's loop). The
+// monitor's control plane is partitioned by key (internal/monitor/shard);
+// these per-shard distributions are how an operator sees one hot or wedged
+// shard that the aggregate sd/monitor/dispatch_ns would average away.
+func MonShardDispatch(i int) string {
+	return MonShardPrefix + "/" + strconv.Itoa(i) + "/dispatch_ns"
+}
+
+// MonShardEvents names shard i's handled-event counter: control messages
+// dequeued from the shard's per-process rings plus events routed to it by
+// the monitor's router thread (mchan arrivals, host-death sweeps).
+func MonShardEvents(i int) string {
+	return MonShardPrefix + "/" + strconv.Itoa(i) + "/events"
+}
