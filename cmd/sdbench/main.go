@@ -23,8 +23,16 @@
 //	                    and restarted mid-transfer; streams stay byte-exact
 //	                    with zero resets, downtime control ops bound at
 //	                    ETIMEDOUT, successors resurrect state and converge
+//	sdbench cluster     cluster-wide chaos soak: an 8-host fleet under
+//	                    concurrent SIGKILLs, a monitor restart, a live
+//	                    migration, duplex and one-way partitions, and a
+//	                    permanent host death; checks byte-exact delivery,
+//	                    exactly one ECONNRESET per severed flow, membership
+//	                    convergence with one death fan-out per survivor,
+//	                    bounded dials and zero buffer drift, then prints
+//	                    every survivor's membership view
 //	sdbench all         everything above
-//	sdbench sdstat [-json] [crash|chaos|smoke]
+//	sdbench sdstat [-json] [crash|chaos|smoke|cluster]
 //	                    run a workload, then print the per-connection flow
 //	                    table (`ss` for the simulated cluster): transport,
 //	                    state, byte/msg counters, takeovers, recoveries,
@@ -63,6 +71,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"text/tabwriter"
 
 	"socksdirect/internal/experiments"
 	"socksdirect/internal/telemetry"
@@ -95,10 +104,11 @@ func main() {
 		"chaos":     chaos,
 		"crash":     crash,
 		"mrestart":  mrestart,
+		"cluster":   cluster,
 	}
 	order := []string{"table2", "table4", "fig7", "fig8",
 		"fig9", "fig10", "fig11", "fig12", "redis", "connscale", "ablate", "chaos", "crash",
-		"mrestart"}
+		"mrestart", "cluster"}
 	switch cmd {
 	case "all":
 		for _, name := range order {
@@ -353,4 +363,31 @@ func mrestart() {
 		failureDump("mrestart")
 		os.Exit(1)
 	}
+}
+
+func cluster() {
+	before := telemetry.Capture()
+	r := experiments.ClusterSoak(experiments.ClusterConfig{})
+	fmt.Println(r)
+	fmt.Println()
+	printMembership(r)
+	fmt.Println()
+	printDeltas("cluster counter deltas (whole workload)", telemetry.Capture().Diff(before))
+	if !r.Passed() {
+		failureDump("cluster")
+		os.Exit(1)
+	}
+}
+
+// printMembership renders every survivor's membership view — the same
+// table `sdbench sdstat cluster` serves, kept here so a bare `sdbench
+// cluster` run shows where each monitor believes every peer landed.
+func printMembership(r experiments.ClusterResult) {
+	fmt.Println("== membership (every survivor's view) ==")
+	tw := tabwriter.NewWriter(os.Stdout, 2, 8, 2, ' ', 0)
+	fmt.Fprintln(tw, "VIEWER\tPEER\tSTATE\tEPOCH\tMISSED")
+	for _, m := range r.Membership {
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%d\t%d\n", m.Viewer, m.Host, m.State, m.Epoch, m.Missed)
+	}
+	tw.Flush()
 }

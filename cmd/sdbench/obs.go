@@ -17,7 +17,11 @@ import (
 // transport, state, byte/message counters, takeovers, recoveries,
 // resets, send-ring high-water and the monitor epoch the endpoint saw.
 //
-//	sdbench sdstat [-json] [crash|chaos|smoke]
+// The cluster workload additionally prints every survivor monitor's
+// membership view (peer, state, epoch) — the operator's way to ask "who
+// does each host think is alive" after a drill.
+//
+//	sdbench sdstat [-json] [crash|chaos|smoke|cluster]
 func sdstatCmd(args []string) {
 	fs := flag.NewFlagSet("sdstat", flag.ExitOnError)
 	asJSON := fs.Bool("json", false, "emit the flow table as JSON")
@@ -29,6 +33,7 @@ func sdstatCmd(args []string) {
 
 	obs.Reset()
 	obs.SetArmed(false) // induced faults are expected; no dumps
+	var members []experiments.ClusterMember
 	switch workload {
 	case "crash":
 		r := experiments.Crash(2, 2, 1024)
@@ -39,21 +44,41 @@ func sdstatCmd(args []string) {
 	case "smoke":
 		r := experiments.ObsSmoke(20, 512)
 		fmt.Fprintln(os.Stderr, r)
+	case "cluster":
+		r := experiments.ClusterSoak(experiments.ClusterConfig{})
+		fmt.Fprintln(os.Stderr, r)
+		members = r.Membership
 	default:
-		fmt.Fprintf(os.Stderr, "sdstat: unknown workload %q (want crash, chaos or smoke)\n", workload)
+		fmt.Fprintf(os.Stderr, "sdstat: unknown workload %q (want crash, chaos, smoke or cluster)\n", workload)
 		os.Exit(2)
 	}
 	obs.SetArmed(true)
 
 	flows := obs.Flows()
 	if *asJSON {
+		out := any(flows)
+		if workload == "cluster" {
+			out = struct {
+				Flows      any                         `json:"flows"`
+				Membership []experiments.ClusterMember `json:"membership"`
+			}{flows, members}
+		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(flows); err != nil {
+		if err := enc.Encode(out); err != nil {
 			fmt.Fprintf(os.Stderr, "sdstat: %v\n", err)
 			os.Exit(1)
 		}
 		return
+	}
+	if members != nil {
+		tw := tabwriter.NewWriter(os.Stdout, 2, 8, 2, ' ', 0)
+		fmt.Fprintln(tw, "VIEWER\tPEER\tSTATE\tEPOCH\tMISSED")
+		for _, m := range members {
+			fmt.Fprintf(tw, "%s\t%s\t%s\t%d\t%d\n", m.Viewer, m.Host, m.State, m.Epoch, m.Missed)
+		}
+		tw.Flush()
+		fmt.Println()
 	}
 	tw := tabwriter.NewWriter(os.Stdout, 2, 8, 2, ' ', 0)
 	fmt.Fprintln(tw, "HOST\tPID\tQID\tSHARD\tPEER\tTRANSPORT\tSTATE\tBYTES-TX\tBYTES-RX\tMSGS-TX\tMSGS-RX\tTAKEOVER\tRECOV\tRESETS\tRING-HW\tEPOCH")

@@ -326,7 +326,13 @@ func (l *Libsd) Connect(ctx exec.Context, t *host.Thread, dstHost string, dstPor
 	defer l.leave()
 	l.mu.Lock()
 	l.nextConnID++
-	connID := uint64(l.P.PID)<<32 | l.nextConnID
+	// The ID must be unique cluster-wide, not just host-wide: the server's
+	// monitor dedups SYNs by ConnID (guarding against bounded-wait
+	// re-sends), so two hosts reusing the same (PID, seq) against one
+	// listener would get the second connect silently dropped — and the
+	// dialer, whose waiter keeps seeing ping answers from its own live
+	// monitor, would spin forever. The host ordinal disambiguates.
+	connID := (l.H.Ordinal&0xffff)<<48 | uint64(l.P.PID&0xffff)<<32 | l.nextConnID&0xffff_ffff
 	pc := &pendingConn{}
 	l.pending[connID] = pc
 	l.mu.Unlock()

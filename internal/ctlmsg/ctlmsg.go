@@ -43,6 +43,7 @@ const (
 	KReRegister                   // monitor -> libsd: new incarnation asks for a state report
 	KReRegistered                 // libsd -> monitor: one state-report record (Aux selects ReReg*)
 	KMHeartbeat                   // monitor -> monitor: periodic liveness beacon
+	KMHostDead                    // monitor -> monitor: host-death verdict gossip (Host=dead host, Aux=its epoch)
 )
 
 // kindNames maps Kind values to stable lower-case names (telemetry keys,
@@ -78,10 +79,11 @@ var kindNames = [...]string{
 	KReRegister:   "reregister",
 	KReRegistered: "reregistered",
 	KMHeartbeat:   "mheartbeat",
+	KMHostDead:    "mhostdead",
 }
 
 // NumKinds is one past the highest defined Kind (array sizing).
-const NumKinds = int(KMHeartbeat) + 1
+const NumKinds = int(KMHostDead) + 1
 
 // Dir values for KReQP/KReQPPeer: a QP re-establishment is either the
 // fork flow of §4.1.2 (the old QP stays alive — the parent still uses it)

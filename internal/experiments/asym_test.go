@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"testing"
+
+	"socksdirect/internal/fault"
+	"socksdirect/internal/monitor"
+	"socksdirect/internal/telemetry"
+)
+
+// TestOneWayPartitionNoFalseHostDeath pins the asymmetric-failure story of
+// the membership layer: a cable that drops frames in ONE direction of the
+// RDMA fabric for longer than the whole 3 s confirm horizon must not get
+// hostB declared dead. The active side's beacons die on the cut direction
+// and its mchan QP errors out, but the heal probe — a TCP SYN handshake
+// over the kernel plane, which does not share fate with the RDMA fabric —
+// completes, and the handshake itself is proof of life (notePeerEpoch), so
+// the miss counter keeps resetting.
+//
+// The control sub-run cuts BOTH directions of BOTH planes: now nothing can
+// prove life, the horizon runs out, and the verdict fires. Without the
+// control the main assertion could pass vacuously (e.g. the confirm path
+// broken altogether).
+func TestOneWayPartitionNoFalseHostDeath(t *testing.T) {
+	run := func(cutBoth bool) (fanouts int64, state monitor.MemberState) {
+		w := newWorld()
+		net := w.cl.Net()
+		inj := fault.New(w.a.Clk)
+		// Registration order pins fault.Dir semantics: hostA->hostB first.
+		inj.AddLink("rdma", net.Rdma.Edge("hostA", "hostB"), net.Rdma.Edge("hostB", "hostA"))
+		inj.AddLink("knet", net.Knet.Edge("hostA", "hostB"), net.Knet.Edge("hostB", "hostA"))
+		const cutAt, cutDur = 100_000_000, 4_000_000_000 // 4 s > 3 s horizon
+		sched := []fault.Event{
+			{At: cutAt, Kind: fault.Partition, Link: "rdma", Dir: fault.Forward, Dur: cutDur},
+		}
+		if cutBoth {
+			sched = []fault.Event{
+				{At: cutAt, Kind: fault.Partition, Link: "rdma", Dur: cutDur},
+				{At: cutAt, Kind: fault.Partition, Link: "knet", Dur: cutDur},
+			}
+		}
+		if err := inj.Run(sched); err != nil {
+			t.Fatal(err)
+		}
+
+		// hostA's monitor stays active (and therefore keeps ticking its
+		// liveness clock against hostB) for the whole horizon; hostB has no
+		// traffic of its own, so only echoes/probe answers prove its life.
+		keepAlive(w.ha, 7820, cutAt+cutDur)
+
+		before := telemetry.Capture()
+		w.sim.Run()
+		d := telemetry.Capture().Diff(before)
+		return d[telemetry.MonHostDeadFanouts], w.ma.MemberState("hostB")
+	}
+
+	fanouts, state := run(false)
+	if fanouts != 0 {
+		t.Errorf("one-way RDMA cut produced %d host-death fan-outs, want 0 (false verdict)", fanouts)
+	}
+	if state == monitor.MemberDead {
+		t.Error("hostB declared dead behind a one-way RDMA cut; kernel-plane probe should have proven life")
+	}
+
+	fanouts, state = run(true)
+	if fanouts < 1 {
+		t.Errorf("full two-plane cut produced %d fan-outs, want >= 1 (confirm horizon never fired: main assertion is vacuous)", fanouts)
+	}
+	if state != monitor.MemberDead {
+		t.Errorf("hostB is %v after a full cut past the horizon, want dead", state)
+	}
+}

@@ -3,6 +3,8 @@ package experiments
 import (
 	"fmt"
 	"runtime"
+	"sort"
+	"sync"
 	"time"
 
 	sd "socksdirect"
@@ -134,7 +136,141 @@ func RunBenchSuite(short bool) BenchReport {
 	for _, e := range benchConnScale(short) {
 		add(e)
 	}
+	for _, e := range benchCluster(short) {
+		add(e)
+	}
 	return rep
+}
+
+// benchCluster measures the two cluster-plane operations the chaos soak
+// bounds, on a healthy N-host routed fabric: a cross-host dial through
+// the full monitor control plane (KConnect -> KMSyn -> KMSynAck over the
+// monitor channels), and an 8B echo RTT over the established RDMA
+// socket. Every client host exercises every server host, so the numbers
+// cover the fabric.Net switch path, not one hand-picked link. Virtual
+// time throughout; world construction and per-dial socket setup are
+// billed to the dial entry (like connscale).
+func benchCluster(short bool) []BenchEntry {
+	servers, clients, rounds := 3, 3, 40
+	if short {
+		servers, clients, rounds = 2, 2, 10
+	}
+	cl := sd.NewCluster(sd.Defaults())
+	srvs := make([]*sd.Host, servers)
+	for i := range srvs {
+		srvs[i] = cl.AddHost(fmt.Sprintf("bsrv%d", i))
+	}
+	clis := make([]*sd.Host, clients)
+	for i := range clis {
+		clis[i] = cl.AddHost(fmt.Sprintf("bcli%d", i))
+	}
+	for _, c := range clis {
+		for _, s := range srvs {
+			sd.PeerMonitors(c, s)
+		}
+	}
+	const port = 7400
+	for _, s := range srvs {
+		sp := s.NewProcess("esrv", 0)
+		sp.Go("main", func(t *sd.T) {
+			ln, err := t.Listen(port)
+			if err != nil {
+				return
+			}
+			for {
+				c, err := ln.Accept()
+				if err != nil {
+					return
+				}
+				conn := c
+				t.Pr.Go("conn", func(ct *sd.T) {
+					cc := conn.WithT(ct)
+					buf := make([]byte, 64)
+					for {
+						n, err := cc.Recv(buf)
+						if err != nil {
+							return
+						}
+						if _, err := cc.Send(buf[:n]); err != nil {
+							return
+						}
+					}
+				})
+			}
+		})
+	}
+
+	var mu sync.Mutex
+	var dialLat, echoLat []int64
+	var elapsed int64
+	runtime.GC()
+	var w memWindow
+	w.mark()
+	for ci := range clis {
+		cp := clis[ci].NewProcess("ecli", 0)
+		cp.Go("main", func(t *sd.T) {
+			t.Sleep(10_000)
+			start := t.Now()
+			msg := make([]byte, 8)
+			buf := make([]byte, 64)
+			var dl, el []int64
+			for s := 0; s < servers; s++ {
+				for r := 0; r < rounds; r++ {
+					t0 := t.Now()
+					c, err := t.Dial(fmt.Sprintf("bsrv%d", s), port)
+					if err != nil {
+						return
+					}
+					dl = append(dl, t.Now()-t0)
+					t0 = t.Now()
+					if _, err := c.Send(msg); err != nil {
+						return
+					}
+					if _, err := c.Recv(buf); err != nil {
+						return
+					}
+					el = append(el, t.Now()-t0)
+					c.Close()
+				}
+			}
+			span := t.Now() - start
+			mu.Lock()
+			dialLat = append(dialLat, dl...)
+			echoLat = append(echoLat, el...)
+			if span > elapsed {
+				elapsed = span
+			}
+			mu.Unlock()
+		})
+	}
+	cl.Run()
+	w.mark()
+
+	q := func(lat []int64, p float64) int64 {
+		if len(lat) == 0 {
+			return 0
+		}
+		s := append([]int64(nil), lat...)
+		sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+		return s[int(p*float64(len(s)-1))]
+	}
+	allocs, bytes := w.perOp(len(dialLat))
+	dial := BenchEntry{
+		Name: "cluster_dial", Msgs: len(dialLat),
+		P50Ns: q(dialLat, 0.50), P99Ns: q(dialLat, 0.99),
+		AllocsPerOp: allocs, BytesPerOp: bytes,
+		Deterministic: true,
+	}
+	echo := BenchEntry{
+		Name: "cluster_echo_8B", MsgBytes: 8, Msgs: len(echoLat),
+		P50Ns: q(echoLat, 0.50), P99Ns: q(echoLat, 0.99),
+		Deterministic: true,
+	}
+	if elapsed > 0 {
+		dial.MsgsPerSec = float64(len(dialLat)) / (float64(elapsed) / 1e9)
+		echo.MsgsPerSec = float64(len(echoLat)) / (float64(elapsed) / 1e9)
+	}
+	return []BenchEntry{dial, echo}
 }
 
 // benchConnScale runs a scaled-down connection-scale drill (the full

@@ -1,0 +1,564 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	sd "socksdirect"
+	"socksdirect/internal/bufpool"
+	"socksdirect/internal/core"
+	"socksdirect/internal/exec"
+	"socksdirect/internal/fault"
+	"socksdirect/internal/host"
+	"socksdirect/internal/monitor"
+	"socksdirect/internal/telemetry"
+)
+
+// ClusterSoak is the cluster-wide chaos drill: an N-host fleet (kv-style
+// servers sharded by flow, clients on separate hosts) moving deterministic
+// byte streams while every failure mode the paper's §4.5 matrix names
+// fires CONCURRENTLY mid-transfer:
+//
+//   - a server process is SIGKILLed (blocked-receiver wake path) and a
+//     client process is SIGKILLed (blocked-sender wake path): each
+//     surviving peer must see a byte-exact prefix, then exactly one
+//     ECONNRESET, then EOF/EPIPE;
+//   - one server host's monitor restarts with a real downtime window:
+//     established streams through it must not notice;
+//   - a client container live-migrates to another host mid-stream
+//     (§4.1.3): its stream continues byte-exact from the new host;
+//   - a transient duplex RDMA partition (< 3 s) stalls one client/server
+//     edge: QPs die and re-establish, the stream completes, and neither
+//     side's monitor false-declares the other dead;
+//   - an asymmetric one-way RDMA cut degrades another edge: go-back-N
+//     retransmission storms one way, liveness proven via the kernel
+//     plane the whole time;
+//   - one server host dies permanently (all edges cut on both planes,
+//     monitor stopped, processes killed): every survivor must converge
+//     on the dead verdict — actively (its own 3 s horizon) or passively
+//     (a peer's KMHostDead gossip) — and fan KPeerDead exactly once, so
+//     each stranded client sees exactly one ECONNRESET.
+//
+// Per-host churners (intra-host dial/echo loops) keep every monitor's
+// control plane active across the horizon and double as the bounded-wait
+// probe: no dial may exceed clusterDialBound even across the restart
+// window. After the run the drill asserts membership convergence on every
+// survivor, zero bufpool drift, and CrashConverged monitors.
+
+// ClusterConfig sizes the drill.
+type ClusterConfig struct {
+	Servers, Clients int // hosts per role (>= 4 servers, >= 2 clients for the full schedule)
+	Flows            int // streaming pairs, round-robined client -> server
+	Chunk            int // bytes per paced send
+	Chunks           int // sends per flow
+}
+
+// ClusterMember is one survivor's view of one peer, for the membership
+// report (sdstat).
+type ClusterMember struct {
+	Viewer string
+	monitor.Member
+}
+
+// ClusterResult is the outcome of one cluster soak.
+type ClusterResult struct {
+	Hosts, Flows int
+	RunNs        int64
+
+	Delivered    int64 // bytes verified byte-exact by receivers
+	PrefixErrors int   // flows whose delivered bytes mismatched the stream
+	Completed    int   // flows that delivered their full payload
+	GoodResets   int   // severed flows: exactly one ECONNRESET then EOF/EPIPE
+	BadErrnos    int   // severed flows with the wrong errno (or errno sequence)
+	Hung         int   // severed flows that never reached an errno
+	MigrOK       bool  // the migrated flow completed byte-exact
+
+	SurvivorsConverged int   // survivor monitors reporting the dead host dead
+	Survivors          int   // monitors expected to converge
+	Fanouts            int64 // sd/monitor/host_dead_fanouts (want == Survivors)
+	GossipTx           int64 // sd/monitor/gossip_tx
+	Cleanups           int64 // sd/monitor/crash_cleanups
+
+	ChurnDials  int    // successful churner round-trips across all hosts
+	ChurnErrs   int    // bounded churner errors (monitor downtime window)
+	WorstDialNs int64  // slowest single dial anywhere in the cluster
+	PoolLeak    int64  // bufpool.Outstanding delta across the run
+	Converge    string // CrashConverged error from any survivor, "" when ok
+
+	Membership []ClusterMember // every survivor's view, for sdstat
+}
+
+// Severed flows: the two SIGKILL victims plus the flows stranded on the
+// permanently dead host.
+func (r ClusterResult) severed() int { return r.Flows - r.Completed }
+
+// Passed reports whether the soak met the acceptance bar.
+func (r ClusterResult) Passed() bool {
+	return r.PrefixErrors == 0 && r.BadErrnos == 0 && r.Hung == 0 &&
+		r.GoodResets == r.severed() && r.MigrOK &&
+		r.SurvivorsConverged == r.Survivors &&
+		r.Fanouts == int64(r.Survivors) &&
+		r.WorstDialNs <= clusterDialBound &&
+		r.PoolLeak == 0 && r.Converge == ""
+}
+
+func (r ClusterResult) String() string {
+	verdict := "PASS"
+	if !r.Passed() {
+		verdict = "FAIL"
+	}
+	conv := r.Converge
+	if conv == "" {
+		conv = "converged"
+	}
+	return fmt.Sprintf(
+		"cluster: %d hosts, %d flows in %.2fs virtual\n"+
+			"  streams: %d complete, %d bytes exact, %d prefix errors; migration ok=%v\n"+
+			"  severed: %d good resets / %d expected, %d bad errnos, %d hung\n"+
+			"  membership: %d/%d survivors converged, fanouts=%d (want %d), gossip_tx=%d\n"+
+			"  churn: %d dials, %d bounded errors, worst dial %.2fms (bound %.0fms)\n"+
+			"  cleanups=%d pool leak=%d, monitors: %s\n"+
+			"  %s",
+		r.Hosts, r.Flows, float64(r.RunNs)/1e9,
+		r.Completed, r.Delivered, r.PrefixErrors, r.MigrOK,
+		r.GoodResets, r.severed(), r.BadErrnos, r.Hung,
+		r.SurvivorsConverged, r.Survivors, r.Fanouts, r.Survivors, r.GossipTx,
+		r.ChurnDials, r.ChurnErrs, float64(r.WorstDialNs)/1e6, float64(clusterDialBound)/1e6,
+		r.Cleanups, r.PoolLeak, conv, verdict)
+}
+
+// The fault schedule (virtual ns). The permanent kill comes first so its
+// 3 s confirm horizon overlaps every other fault; everything is over by
+// ~3.6 s, inside the flows' paced span.
+const (
+	clusterPace      = 2_000_000 // 2 ms between chunks
+	clusterDeadAt    = 400_000_000
+	clusterKillSrv   = 500_000_000
+	clusterKillCli   = 550_000_000
+	clusterMonStop   = 600_000_000
+	clusterMonBack   = 650_000_000
+	clusterPartAt    = 800_000_000
+	clusterPartDur   = 1_500_000_000 // < 3 s: must NOT produce a verdict
+	clusterAsymAt    = 900_000_000
+	clusterAsymDur   = 1_000_000_000
+	clusterMigrAt    = 1_000_000_000
+	clusterDialBound = 25_000_000 // ErrMonitorDown deadline (10 ms) + slack
+)
+
+// ClusterSoak runs the drill. Zero-valued config fields get the defaults
+// the acceptance bar was written against (4 servers, 4 clients, 16 flows).
+func ClusterSoak(cfg ClusterConfig) ClusterResult {
+	if cfg.Servers == 0 {
+		cfg.Servers = 4
+	}
+	if cfg.Clients == 0 {
+		cfg.Clients = 4
+	}
+	if cfg.Flows == 0 {
+		cfg.Flows = 16
+	}
+	if cfg.Chunk == 0 {
+		cfg.Chunk = 512
+	}
+	if cfg.Chunks == 0 {
+		cfg.Chunks = 1900 // * clusterPace = 3.8 s of traffic
+	}
+	res := ClusterResult{Hosts: cfg.Servers + cfg.Clients, Flows: cfg.Flows}
+	poolBefore := bufpool.Outstanding()
+	before := telemetry.Capture()
+
+	cl := sd.NewCluster(sd.Defaults())
+	srvs := make([]*sd.Host, cfg.Servers)
+	clis := make([]*sd.Host, cfg.Clients)
+	for i := range srvs {
+		srvs[i] = cl.AddHost(fmt.Sprintf("srv%d", i))
+	}
+	for i := range clis {
+		clis[i] = cl.AddHost(fmt.Sprintf("cli%d", i))
+	}
+	all := append(append([]*sd.Host(nil), srvs...), clis...)
+	for i := 0; i < len(all); i++ {
+		for j := i + 1; j < len(all); j++ {
+			sd.PeerMonitors(all[i], all[j])
+		}
+	}
+	sim := cl.Sim()
+	net := cl.Net()
+	deadHost := srvs[cfg.Servers-1] // srv3 by default: dies permanently
+
+	// Churners keep monitors active and double as bounded-wait probes.
+	// Only clis[0] stays active across the whole 3 s confirm horizon: it
+	// is the survivor that confirms the dead host directly; every other
+	// survivor goes quiet after the restart window and must converge via
+	// the confirmer's KMHostDead gossip — which makes the drill assert
+	// the gossip path non-vacuously AND keeps the full-mesh beacon storm
+	// (N*(N-1) channels at 2 ms) from dominating the event count.
+	horizon := int64(clusterDeadAt + 3_300_000_000)
+	quietAt := int64(clusterPartAt) // past the restart window probes
+	churns := make([]*churn, 0, len(all)-1)
+	for i, h := range all {
+		if h == deadHost {
+			continue
+		}
+		hz := quietAt
+		if h == clis[0] {
+			hz = horizon
+		}
+		churns = append(churns, keepAlive(h, 7900+uint16(i), hz))
+	}
+
+	// The flows. Flow f: client host (f/Servers)%Clients -> server host
+	// f%Servers, so every client host reaches every server host. Flow
+	// roles in the schedule:
+	//   - every flow whose server is deadHost: stranded by the permanent
+	//     host death (exactly-one-ECONNRESET via the confirm sweep);
+	//     these flows pace past the confirm horizon (cfg.Chunks);
+	//   - flow 0 (cli0 -> srv0): its server process is SIGKILLed;
+	//   - flow 1 (cli0 -> srv1): its client process is SIGKILLed;
+	//   - flow 2 (cli0 -> srv2): its client container live-migrates
+	//     mid-stream.
+	// Everything else must complete byte-exact through the restart, the
+	// transient duplex partition and the asymmetric cut; completion flows
+	// carry a shorter payload (they only need to span the last heal).
+	flows := make([]*clusterFlow, cfg.Flows)
+	reaper := clis[0].NewProcess("reaper", 0)
+	for f := 0; f < cfg.Flows; f++ {
+		srv := srvs[f%cfg.Servers]
+		cli := clis[(f/cfg.Servers)%cfg.Clients]
+		fl := &clusterFlow{
+			port: 8000 + uint16(f), severed: srv == deadHost,
+			chunk: cfg.Chunk, chunks: cfg.Chunks,
+		}
+		if !fl.severed && cfg.Chunks > 1400 {
+			fl.chunks = 1400 // 2.8 s of pacing: spans every transient fault
+		}
+		switch f {
+		case 0:
+			fl.killServer = true
+			fl.severed = true
+		case 1:
+			fl.killClient = true
+			fl.severed = true
+		case 2:
+			fl.migrateTo = clis[cfg.Clients-1]
+		}
+		flows[f] = fl
+		clusterWire(fl, cli, srv, reaper)
+	}
+
+	// Fault schedule. Directed edges come straight off the routed fabric;
+	// registration order (forward first) pins fault.Dir semantics.
+	inj := fault.New(sim.Clock())
+	partCli, partSrv := clis[1%cfg.Clients].H.Name, srvs[1%cfg.Servers].H.Name
+	inj.AddLink("part-rdma", net.Rdma.Edge(partCli, partSrv), net.Rdma.Edge(partSrv, partCli))
+	// The asymmetric cut hits cli1 -> srv2: flow 6 streams across it.
+	asymCli, asymSrv := clis[1%cfg.Clients].H.Name, srvs[2%cfg.Servers].H.Name
+	inj.AddLink("asym-rdma", net.Rdma.Edge(asymCli, asymSrv), net.Rdma.Edge(asymSrv, asymCli))
+	sched := []fault.Event{
+		{At: clusterPartAt, Kind: fault.Partition, Link: "part-rdma", Dur: clusterPartDur},
+		{At: clusterAsymAt, Kind: fault.Partition, Link: "asym-rdma", Dir: fault.Forward, Dur: clusterAsymDur},
+	}
+	// The permanent host death: cut every edge touching deadHost on both
+	// planes and both directions — no fast-path KPeerDead can escape, so
+	// survivors must converge via their own horizon or peer gossip.
+	for _, h := range all {
+		if h == deadHost {
+			continue
+		}
+		name := "dead-" + h.H.Name
+		inj.AddLink(name,
+			net.Rdma.Edge(deadHost.H.Name, h.H.Name), net.Rdma.Edge(h.H.Name, deadHost.H.Name),
+			net.Knet.Edge(deadHost.H.Name, h.H.Name), net.Knet.Edge(h.H.Name, deadHost.H.Name))
+		sched = append(sched, fault.Event{
+			At: clusterDeadAt, Kind: fault.Partition, Link: name, Dur: 10_000_000_000,
+		})
+	}
+	if err := inj.Run(sched); err != nil {
+		panic("cluster: " + err.Error())
+	}
+
+	// Controller: monitor restart on srv1, then the permanent death of
+	// deadHost (stop the monitor and kill its processes once the fabric
+	// cut is in place, so the death is only observable as silence).
+	restartSrv := srvs[1%cfg.Servers]
+	var restarted *monitor.Monitor
+	sim.Spawn("cluster-ctl", func(ctx exec.Context) {
+		ctx.Sleep(clusterDeadAt + 1_000_000)
+		deadHost.Mon.Stop()
+		for _, p := range clusterVictims[deadHost] {
+			p.P.Signal(nil, host.SIGKILL)
+		}
+		ctx.Sleep(clusterMonStop - (clusterDeadAt + 1_000_000))
+		restartSrv.Mon.Stop()
+		ctx.Sleep(clusterMonBack - clusterMonStop)
+		restarted = monitor.Restart(restartSrv.H)
+	})
+
+	res.RunNs = cl.Run()
+	delete(clusterVictims, deadHost)
+
+	for _, fl := range flows {
+		res.Delivered += fl.delivered
+		if fl.prefixBad {
+			res.PrefixErrors++
+		}
+		if fl.completed {
+			res.Completed++
+		}
+		if fl.severed {
+			switch {
+			case !fl.done:
+				res.Hung++
+			case fl.goodReset:
+				res.GoodResets++
+			default:
+				res.BadErrnos++
+			}
+		}
+	}
+	res.MigrOK = flows[2].completed && !flows[2].prefixBad
+
+	// Membership: every surviving monitor must hold the dead verdict.
+	survivors := make([]*monitor.Monitor, 0, len(all)-1)
+	for _, h := range all {
+		if h == deadHost {
+			continue
+		}
+		m := h.Mon
+		if h == restartSrv && restarted != nil {
+			m = restarted
+		}
+		survivors = append(survivors, m)
+		if m.MemberState(deadHost.H.Name) == monitor.MemberDead {
+			res.SurvivorsConverged++
+		}
+		for _, mem := range m.Membership() {
+			res.Membership = append(res.Membership, ClusterMember{Viewer: m.H.Name, Member: mem})
+		}
+		if res.Converge == "" {
+			if err := m.CrashConverged(); err != nil {
+				res.Converge = err.Error()
+			}
+		}
+	}
+	res.Survivors = len(survivors)
+	sort.Slice(res.Membership, func(i, j int) bool {
+		if res.Membership[i].Viewer != res.Membership[j].Viewer {
+			return res.Membership[i].Viewer < res.Membership[j].Viewer
+		}
+		return res.Membership[i].Host < res.Membership[j].Host
+	})
+
+	for _, ch := range churns {
+		res.ChurnDials += ch.dials
+		res.ChurnErrs += ch.errs
+		if ch.worstNs > res.WorstDialNs {
+			res.WorstDialNs = ch.worstNs
+		}
+	}
+	d := telemetry.Capture().Diff(before)
+	res.Fanouts = d[telemetry.MonHostDeadFanouts]
+	res.GossipTx = d[telemetry.MonGossipTx]
+	res.Cleanups = d[telemetry.MonCrashCleanups]
+	res.PoolLeak = bufpool.Outstanding() - poolBefore
+	return res
+}
+
+// clusterVictims maps a host to the processes the controller SIGKILLs when
+// that host dies permanently. Keyed per run; cleared by ClusterSoak.
+var clusterVictims = map[*sd.Host][]*sd.Process{}
+
+// clusterFlow is one streaming pair's observed outcome.
+type clusterFlow struct {
+	port          uint16
+	chunk, chunks int
+	severed       bool // expected to end in ECONNRESET instead of completing
+	killServer    bool // reaper kills the server process at clusterKillSrv
+	killClient    bool // reaper kills the client process at clusterKillCli
+	migrateTo     *sd.Host
+
+	delivered int64
+	prefixBad bool
+	completed bool // full payload delivered byte-exact
+	done      bool // severed flow reached an errno
+	goodReset bool // exactly one ECONNRESET then EOF/EPIPE
+}
+
+// clusterWire builds one flow: a paced xorshift stream client -> server,
+// verified in lockstep by the server, echo-free (one direction keeps the
+// blocked-sender/blocked-receiver wake paths distinguishable).
+func clusterWire(fl *clusterFlow, cli, srv *sd.Host, reaper *sd.Process) {
+	sp := srv.NewProcess(fmt.Sprintf("cs-srv%d", fl.port), 0)
+	cp := cli.NewProcess(fmt.Sprintf("cs-cli%d", fl.port), 0)
+	if srvDead := fl.severed && !fl.killServer && !fl.killClient; srvDead {
+		clusterVictims[srv] = append(clusterVictims[srv], sp)
+	}
+	seed := uint64(fl.port)*0x9E3779B97F4A7C15 + 13
+	total := int64(fl.chunk) * int64(fl.chunks)
+
+	sp.Go("srv", func(t *sd.T) {
+		ln, err := t.Listen(fl.port)
+		if err != nil {
+			return
+		}
+		c, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		want := make([]byte, fl.chunk)
+		buf := make([]byte, fl.chunk)
+		wantRand := seed
+		rem := 0
+		for fl.delivered < total {
+			n, err := c.Recv(buf)
+			if err != nil {
+				if fl.killServer {
+					return // we are the victim; the kill unwound us
+				}
+				fl.done = true
+				if errors.Is(err, sd.ECONNRESET) {
+					_, err2 := c.Recv(buf)
+					fl.goodReset = err2 == sd.EOF
+				}
+				return
+			}
+			for i := 0; i < n; i++ {
+				if rem == 0 {
+					xorshiftFill(want, &wantRand)
+					rem = fl.chunk
+				}
+				if buf[i] != want[fl.chunk-rem] {
+					fl.prefixBad = true
+				}
+				rem--
+				fl.delivered++
+			}
+		}
+		fl.completed = true
+	})
+	cp.Go("cli", func(t *sd.T) {
+		t.Sleep(10_000)
+		c, err := t.Dial(srv.H.Name, fl.port)
+		if err != nil {
+			return
+		}
+		out := make([]byte, fl.chunk)
+		txRand := seed
+		for i := 0; i < fl.chunks; i++ {
+			if fl.migrateTo != nil && t.Now() >= clusterMigrAt {
+				clusterMigrate(t, c, fl, i, &txRand)
+				return
+			}
+			xorshiftFill(out, &txRand)
+			if _, err := c.Send(out); err != nil {
+				if fl.killClient {
+					return // we are the victim
+				}
+				fl.done = true
+				if errors.Is(err, sd.ECONNRESET) {
+					_, err2 := c.Send(out)
+					fl.goodReset = errors.Is(err2, sd.EPIPE)
+				}
+				return
+			}
+			t.Sleep(clusterPace)
+		}
+	})
+	if fl.killServer || fl.killClient {
+		victim, at := cp, int64(clusterKillCli)
+		if fl.killServer {
+			victim, at = sp, clusterKillSrv
+		}
+		reaper.Go(fmt.Sprintf("kill%d", fl.port), func(t *sd.T) {
+			t.Sleep(at)
+			t.Kill(victim)
+		})
+	}
+}
+
+// clusterMigrate live-migrates the flow's client container to fl.migrateTo
+// (§4.1.3) and finishes the stream from there: same socket FD, same
+// xorshift state, so the server's lockstep verification proves no byte was
+// lost or duplicated across the move.
+func clusterMigrate(t *sd.T, c *sd.Conn, fl *clusterFlow, next int, txRand *uint64) {
+	fd := c.FD()
+	state := *txRand
+	np, nl, err := core.Migrate(t.Pr.Lib, fl.migrateTo.H, "cs-migrated")
+	if err != nil {
+		return
+	}
+	np.Spawn("cli", func(ctx exec.Context, th *host.Thread) {
+		sock, err := nl.SocketByFD(fd)
+		if err != nil {
+			return
+		}
+		out := make([]byte, fl.chunk)
+		for i := next; i < fl.chunks; i++ {
+			xorshiftFill(out, &state)
+			if _, err := sock.Send(ctx, th, out); err != nil {
+				return
+			}
+			ctx.Sleep(clusterPace)
+		}
+	})
+}
+
+// churn is what one host's keep-alive churner observed.
+type churn struct {
+	dials   int
+	errs    int
+	worstNs int64
+}
+
+// keepAlive spawns an intra-host echo service plus a dial loop on h that
+// runs until the horizon. Every control-plane round trip refreshes the
+// monitor's activity clock (so its heartbeat machinery keeps ticking) and
+// doubles as a bounded-wait probe: each dial's latency is recorded, and
+// errors (the monitor-restart downtime window) must be the bounded
+// ErrMonitorDown kind, never a hang.
+func keepAlive(h *sd.Host, port uint16, horizon int64) *churn {
+	ch := &churn{}
+	srv := h.NewProcess(fmt.Sprintf("churn-srv%d", port), 0)
+	cli := h.NewProcess(fmt.Sprintf("churn-cli%d", port), 0)
+	srv.Go("echo", func(t *sd.T) {
+		ln, err := t.Listen(port)
+		if err != nil {
+			return
+		}
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			b := make([]byte, 1)
+			if n, err := c.Recv(b); err == nil {
+				c.Send(b[:n])
+			}
+			c.Close()
+		}
+	})
+	cli.Go("churn", func(t *sd.T) {
+		t.Sleep(5_000)
+		for t.Now() < horizon {
+			began := t.Now()
+			c, err := t.Dial(h.H.Name, port)
+			if took := t.Now() - began; took > ch.worstNs {
+				ch.worstNs = took
+			}
+			if err != nil {
+				ch.errs++
+				t.Sleep(2_000_000)
+				continue
+			}
+			b := []byte{0x5a}
+			if _, err := c.Send(b); err == nil {
+				c.Recv(b)
+			}
+			c.Close()
+			ch.dials++
+			t.Sleep(20_000_000)
+		}
+	})
+	return ch
+}

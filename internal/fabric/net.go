@@ -1,0 +1,195 @@
+package fabric
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+
+	"socksdirect/internal/exec"
+)
+
+// Net is an N-host routed topology: a switch connecting one Port per host,
+// built as a full mesh of the package's point-to-point duplex links so
+// every edge keeps the Endpoint timing model (serialization, propagation,
+// loss, jitter) and the per-direction runtime fault knobs. Frames route by
+// destination host name; each directed edge is an independent Endpoint, so
+// fault schedules can cut or degrade any edge — including only one
+// direction of it — without touching the rest of the fabric.
+//
+// The mesh is the topology the paper assumes of a datacenter RDMA fabric:
+// any host reaches any other in one switch hop with uniform wire
+// characteristics. Per-edge deviations (a slow rack uplink, a lossy cable)
+// are modelled by mutating that edge's knobs, not by growing a routing
+// protocol the paper does not have.
+type Net struct {
+	clk  exec.Clock
+	name string // plane name, e.g. "rdma" or "net"; used in endpoint names
+	base Config
+
+	mu    sync.Mutex
+	ports map[string]*Port
+	edges map[edgeKey]*Endpoint
+	hosts []string // sorted; AddHost wiring order, for determinism
+}
+
+// edgeKey names one directed edge: frames transmitted by src toward dst.
+type edgeKey struct{ src, dst string }
+
+// Port is one host's attachment to a Net. A Port owns no timing state of
+// its own — it is a router over the host's directed edges.
+type Port struct {
+	net  *Net
+	host string
+
+	mu      sync.Mutex
+	handler func(src string, frame any, wireBytes int)
+}
+
+// NewNet creates an empty switch on the given clock. base supplies the
+// wire characteristics every edge starts from; each edge derives its own
+// deterministic rng seed from base.Seed and the edge's endpoint names, so
+// loss/jitter streams are independent per edge and stable across runs
+// regardless of the order hosts join.
+func NewNet(clk exec.Clock, name string, base Config) *Net {
+	return &Net{
+		clk:   clk,
+		name:  name,
+		base:  base,
+		ports: make(map[string]*Port),
+		edges: make(map[edgeKey]*Endpoint),
+	}
+}
+
+// pairSeed derives a per-link seed from the base seed and the (unordered)
+// pair of hosts, so adding hosts in a different order yields the same
+// per-edge rng streams.
+func (n *Net) pairSeed(a, b string) int64 {
+	if a > b {
+		a, b = b, a
+	}
+	h := fnv.New64a()
+	h.Write([]byte(n.name))
+	h.Write([]byte{0})
+	h.Write([]byte(a))
+	h.Write([]byte{0})
+	h.Write([]byte(b))
+	return n.base.Seed ^ int64(h.Sum64())
+}
+
+// AddHost attaches a host to the switch, wiring duplex links to every host
+// already attached (in sorted name order, so the event schedule of a run
+// does not depend on map iteration). Returns the host's Port. Adding the
+// same host twice returns the existing Port.
+func (n *Net) AddHost(host string) *Port {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if p := n.ports[host]; p != nil {
+		return p
+	}
+	p := &Port{net: n, host: host}
+	peers := append([]string(nil), n.hosts...)
+	sort.Strings(peers)
+	for _, peer := range peers {
+		// Canonical orientation: the link is always created lo->hi, so each
+		// direction's rng stream is pinned to the unordered pair and does
+		// not depend on which of the two hosts joined the switch later.
+		lo, hi := host, peer
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		cfg := n.base
+		cfg.Seed = n.pairSeed(lo, hi)
+		el, eh := NewLink(n.clk, lo+"->"+hi+"/"+n.name, hi+"->"+lo+"/"+n.name, cfg)
+		n.edges[edgeKey{lo, hi}] = el
+		n.edges[edgeKey{hi, lo}] = eh
+		plo, phi := p, n.ports[peer]
+		if lo != host {
+			plo, phi = phi, plo
+		}
+		// An endpoint's handler fires for frames arriving FROM its peer:
+		// edge (x,y) is x's transmitter toward y, so its handler delivers
+		// inbound frames from y into x's port.
+		el.SetHandler(func(f any, wire int) { plo.deliver(hi, f, wire) })
+		eh.SetHandler(func(f any, wire int) { phi.deliver(lo, f, wire) })
+	}
+	n.ports[host] = p
+	n.hosts = append(n.hosts, host)
+	sort.Strings(n.hosts)
+	return p
+}
+
+// Hosts lists attached hosts in sorted order.
+func (n *Net) Hosts() []string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return append([]string(nil), n.hosts...)
+}
+
+// Port returns the named host's attachment, or nil.
+func (n *Net) Port(host string) *Port {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.ports[host]
+}
+
+// Edge returns the directed edge src->dst (src's transmitter toward dst),
+// or nil. Fault schedules use it to reach one direction's runtime knobs;
+// cutting Edge(a,b) blackholes a's frames toward b while b's frames toward
+// a still flow.
+func (n *Net) Edge(src, dst string) *Endpoint {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.edges[edgeKey{src, dst}]
+}
+
+// Host returns the name of the host this port attaches.
+func (p *Port) Host() string { return p.host }
+
+// SetHandler installs the receive pipeline: h runs at delivery time in
+// timer context (like Endpoint handlers) with the sending host's name.
+func (p *Port) SetHandler(h func(src string, frame any, wireBytes int)) {
+	p.mu.Lock()
+	p.handler = h
+	p.mu.Unlock()
+}
+
+func (p *Port) deliver(src string, frame any, wireBytes int) {
+	p.mu.Lock()
+	h := p.handler
+	p.mu.Unlock()
+	if h != nil {
+		h(src, frame, wireBytes)
+	}
+}
+
+// SendTo transmits a frame toward the named host over the directed edge.
+// An unknown destination is an error (and releases the frame's fabric
+// reference, like a drop): routing mistakes must surface, not hang.
+func (p *Port) SendTo(dst string, frame any, payloadBytes int) error {
+	ep := p.net.Edge(p.host, dst)
+	if ep == nil {
+		releaseFrame(frame)
+		return fmt.Errorf("fabric: %s/%s has no edge toward host %q", p.net.name, p.host, dst)
+	}
+	ep.Send(frame, payloadBytes)
+	return nil
+}
+
+// EdgeTo returns this host's transmitter toward dst, or nil (fault knobs).
+func (p *Port) EdgeTo(dst string) *Endpoint { return p.net.Edge(p.host, dst) }
+
+// Reaches reports whether the switch has an edge toward dst.
+func (p *Port) Reaches(dst string) bool { return p.net.Edge(p.host, dst) != nil }
+
+// Peers lists the other hosts this port has edges toward, sorted.
+func (p *Port) Peers() []string {
+	all := p.net.Hosts()
+	out := all[:0]
+	for _, h := range all {
+		if h != p.host {
+			out = append(out, h)
+		}
+	}
+	return out
+}

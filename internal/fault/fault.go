@@ -6,8 +6,9 @@
 // replays bit-for-bit — chaos runs are regression tests, not dice rolls.
 //
 // A schedule is a flat list of Events. Link faults name a registered link
-// and mutate both of its endpoints for Dur nanoseconds before restoring
-// the pre-fault values; hook faults name a registered hook and invoke it.
+// and mutate its endpoints — both directions by default, or only one when
+// the event's Dir selects it — for Dur nanoseconds before restoring the
+// pre-fault values; hook faults name a registered hook and invoke it.
 // The injector records every applied fault under sd/fault/injected (plus a
 // per-kind suffix) so experiments can assert on what actually happened.
 package fault
@@ -36,12 +37,27 @@ const (
 	MonitorPause Kind = "monitor_pause" // Hook
 )
 
+// Dir selects which registered endpoints of a link a fault hits. The
+// default (Both) preserves the historical behaviour: every endpoint
+// registered under the link name. Forward and Reverse select only the
+// first or second registered endpoint, modelling asymmetric failures — a
+// cable that drops frames one way, a switch port whose TX queue wedged —
+// which partition only one direction of the duplex.
+type Dir int
+
+const (
+	Both    Dir = iota // every registered endpoint (symmetric fault)
+	Forward            // first registered endpoint only (A->B direction)
+	Reverse            // second registered endpoint only (B->A direction)
+)
+
 // Event is one scheduled fault.
 type Event struct {
 	At   int64 // virtual ns after Run at which the fault starts
 	Kind Kind
 	Link string // target link (LossBurst/DelaySpike/Partition/Flap)
 	Hook string // target hook (QPError/MonitorPause)
+	Dir  Dir    // which direction(s) of the link the fault hits
 
 	Dur   int64   // active duration; for Flap, the down time per cycle
 	Gap   int64   // Flap only: up time between cycles (default Dur)
@@ -53,6 +69,24 @@ type Event struct {
 // link is both directions of one registered full-duplex link.
 type link struct {
 	eps []*fabric.Endpoint
+}
+
+// sel returns the endpoints a fault with the given direction mutates.
+// Forward/Reverse on a link registered with fewer endpoints than the
+// selection needs fall back to everything registered — a one-endpoint
+// link has no second direction to select.
+func (l *link) sel(d Dir) []*fabric.Endpoint {
+	switch d {
+	case Forward:
+		if len(l.eps) >= 1 {
+			return l.eps[:1]
+		}
+	case Reverse:
+		if len(l.eps) >= 2 {
+			return l.eps[1:2]
+		}
+	}
+	return l.eps
 }
 
 // Injector binds a schedule to concrete links and hooks.
@@ -74,7 +108,10 @@ func New(clk exec.Clock) *Injector {
 }
 
 // AddLink registers the endpoints of one named link. Pass both sides of a
-// full-duplex link so partitions and loss bursts hit both directions.
+// full-duplex link so partitions and loss bursts hit both directions; the
+// registration order is meaningful to directional events — Dir Forward
+// selects the first endpoint registered, Reverse the second — so register
+// the A->B transmitter first and the B->A transmitter second.
 func (in *Injector) AddLink(name string, eps ...*fabric.Endpoint) {
 	in.mu.Lock()
 	defer in.mu.Unlock()
@@ -135,31 +172,32 @@ func (in *Injector) record(k Kind) {
 
 func (in *Injector) applyLink(l *link, ev Event) {
 	in.record(ev.Kind)
+	eps := l.sel(ev.Dir)
 	switch ev.Kind {
 	case LossBurst:
-		for _, ep := range l.eps {
+		for _, ep := range eps {
 			ep.SetLossRate(ev.Rate)
 		}
 		in.clk.After(ev.Dur, func() {
-			for _, ep := range l.eps {
+			for _, ep := range eps {
 				ep.SetLossRate(0)
 			}
 		})
 	case DelaySpike:
-		for _, ep := range l.eps {
+		for _, ep := range eps {
 			ep.SetExtraDelay(ev.Delay)
 		}
 		in.clk.After(ev.Dur, func() {
-			for _, ep := range l.eps {
+			for _, ep := range eps {
 				ep.SetExtraDelay(0)
 			}
 		})
 	case Partition:
-		for _, ep := range l.eps {
+		for _, ep := range eps {
 			ep.SetPartitioned(true)
 		}
 		in.clk.After(ev.Dur, func() {
-			for _, ep := range l.eps {
+			for _, ep := range eps {
 				ep.SetPartitioned(false)
 			}
 		})
@@ -179,11 +217,12 @@ func (in *Injector) applyLink(l *link, ev Event) {
 // flapCycle runs one down/up cycle and chains the next. Cycles after the
 // first record their own injection so the counter reflects every outage.
 func (in *Injector) flapCycle(l *link, ev Event, remaining int, gap int64) {
-	for _, ep := range l.eps {
+	eps := l.sel(ev.Dir)
+	for _, ep := range eps {
 		ep.SetPartitioned(true)
 	}
 	in.clk.After(ev.Dur, func() {
-		for _, ep := range l.eps {
+		for _, ep := range eps {
 			ep.SetPartitioned(false)
 		}
 		if remaining <= 1 {

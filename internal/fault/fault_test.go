@@ -130,3 +130,77 @@ func TestUnknownTargetsRejected(t *testing.T) {
 		t.Fatal("unknown kind accepted")
 	}
 }
+
+// TestDirectionalPartitionCutsOneWay pins the asymmetric-fault contract:
+// an Event with Dir Forward partitions only the first registered endpoint
+// (the A->B transmitter), so B->A traffic keeps flowing; Reverse selects
+// the second; Both (the zero value) keeps the historical symmetric cut.
+func TestDirectionalPartitionCutsOneWay(t *testing.T) {
+	s := exec.NewSim(exec.SimConfig{})
+	clk := s.Clock()
+	a, b := fabric.NewLink(clk, "A", "B", fabric.Config{PropDelay: 10})
+	gotB, gotA := new(int), new(int)
+	b.SetHandler(func(any, int) { *gotB++ })
+	a.SetHandler(func(any, int) { *gotA++ })
+	in := New(clk)
+	in.AddLink("ab", a, b) // A->B transmitter first, B->A second
+	err := in.Run([]Event{
+		{At: 0, Kind: Partition, Link: "ab", Dir: Forward, Dur: 100},
+		{At: 200, Kind: Partition, Link: "ab", Dir: Reverse, Dur: 100},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Spawn("tx", func(ctx exec.Context) {
+		ctx.Sleep(50) // forward cut active
+		a.Send("dropped", 1)
+		b.Send("ok", 1)
+		ctx.Sleep(200) // reverse cut active
+		a.Send("ok", 1)
+		b.Send("dropped", 1)
+		ctx.Sleep(200) // healed
+		a.Send("ok", 1)
+		b.Send("ok", 1)
+	})
+	s.Run()
+	if *gotB != 2 {
+		t.Errorf("B received %d, want 2 (one dropped by the forward cut)", *gotB)
+	}
+	if *gotA != 2 {
+		t.Errorf("A received %d, want 2 (one dropped by the reverse cut)", *gotA)
+	}
+	if a.Stats().Drops != 1 || b.Stats().Drops != 1 {
+		t.Errorf("drops A=%d B=%d, want 1 and 1", a.Stats().Drops, b.Stats().Drops)
+	}
+}
+
+// TestDirectionalLossBurstHitsOneDirection does the same for loss.
+func TestDirectionalLossBurstHitsOneDirection(t *testing.T) {
+	s := exec.NewSim(exec.SimConfig{})
+	clk := s.Clock()
+	a, b := fabric.NewLink(clk, "A", "B", fabric.Config{PropDelay: 10})
+	gotB, gotA := new(int), new(int)
+	b.SetHandler(func(any, int) { *gotB++ })
+	a.SetHandler(func(any, int) { *gotA++ })
+	in := New(clk)
+	in.AddLink("ab", a, b)
+	if err := in.Run([]Event{{At: 0, Kind: LossBurst, Link: "ab", Dir: Forward, Rate: 1, Dur: 1000}}); err != nil {
+		t.Fatal(err)
+	}
+	s.Spawn("tx", func(ctx exec.Context) {
+		ctx.Sleep(10)
+		for i := 0; i < 5; i++ {
+			a.Send(i, 1) // all lost
+			b.Send(i, 1) // all delivered
+		}
+		ctx.Sleep(2000)
+		a.Send("healed", 1)
+	})
+	s.Run()
+	if *gotA != 5 {
+		t.Errorf("A received %d, want 5 (reverse direction untouched)", *gotA)
+	}
+	if *gotB != 1 {
+		t.Errorf("B received %d, want 1 (only the post-burst frame)", *gotB)
+	}
+}

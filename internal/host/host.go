@@ -10,6 +10,7 @@ package host
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"socksdirect/internal/costmodel"
 	"socksdirect/internal/exec"
@@ -21,14 +22,20 @@ import (
 
 // Host is one machine.
 type Host struct {
-	Name  string
-	RT    exec.Runtime
-	Clk   exec.Clock
-	Costs *costmodel.Costs
-	SHM   *shm.Registry
-	Mem   *mem.PhysMem
-	NIC   *rdma.NIC
-	Kern  *Kernel
+	Name string
+	// Ordinal is unique across every host in the process (not just one
+	// cluster). Libsd folds it into connection IDs: PIDs restart from 1
+	// on every host, so (PID, seq) alone collides the moment two hosts
+	// dial the same listener, and the receiving monitor would drop the
+	// second SYN as a bounded-wait re-send of the first.
+	Ordinal uint64
+	RT      exec.Runtime
+	Clk     exec.Clock
+	Costs   *costmodel.Costs
+	SHM     *shm.Registry
+	Mem     *mem.PhysMem
+	NIC     *rdma.NIC
+	Kern    *Kernel
 
 	mu       sync.Mutex
 	procs    map[int]*Process
@@ -56,6 +63,10 @@ func (h *Host) OnProcessDeath(fn func(pid int)) {
 	h.mu.Unlock()
 }
 
+// hostSeq hands out Host.Ordinal values. Deterministic: the sequence
+// depends only on host-creation order, which the sims fix.
+var hostSeq atomic.Uint64
+
 // New creates a host on the given runtime. costs may be nil for
 // cost-free functional tests.
 func New(name string, rt exec.Runtime, costs *costmodel.Costs, seed uint64) *Host {
@@ -64,14 +75,15 @@ func New(name string, rt exec.Runtime, costs *costmodel.Costs, seed uint64) *Hos
 	}
 	clk := rt.Clock()
 	h := &Host{
-		Name:  name,
-		RT:    rt,
-		Clk:   clk,
-		Costs: costs,
-		SHM:   shm.NewRegistry(seed),
-		Mem:   mem.NewPhysMem(seed^0xfeed, costs),
-		NIC:   rdma.NewNIC(clk, name, costs, seed^0xabcd),
-		procs: make(map[int]*Process),
+		Name:    name,
+		Ordinal: hostSeq.Add(1),
+		RT:      rt,
+		Clk:     clk,
+		Costs:   costs,
+		SHM:     shm.NewRegistry(seed),
+		Mem:     mem.NewPhysMem(seed^0xfeed, costs),
+		NIC:     rdma.NewNIC(clk, name, costs, seed^0xabcd),
+		procs:   make(map[int]*Process),
 	}
 	h.Kern = newKernel(h)
 	// RDMA loopback port so intra-host QPs (the RSocket/LibVMA hairpin

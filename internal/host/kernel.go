@@ -17,6 +17,7 @@ type Kernel struct {
 
 	mu       sync.Mutex
 	netPorts map[string]*fabric.Endpoint
+	fab      *fabric.Port // routed fabric attachment (N-host topologies)
 	protos   map[string]func(src string, frame any)
 	loop     *fabric.Endpoint
 
@@ -59,6 +60,17 @@ func (k *Kernel) addNetPort(remote string, ep *fabric.Endpoint) {
 	ep.SetHandler(func(f any, _ int) { k.deliver(remote, f) })
 }
 
+// AttachFabric wires the kernel network stack into a routed fabric.Net:
+// NetSend routes through the fabric's directed edges for hosts without a
+// dedicated point-to-point port, and inbound fabric frames dispatch by
+// their source host exactly like point-to-point arrivals.
+func (k *Kernel) AttachFabric(p *fabric.Port) {
+	k.mu.Lock()
+	k.fab = p
+	k.mu.Unlock()
+	p.SetHandler(func(src string, f any, _ int) { k.deliver(src, f) })
+}
+
 func (k *Kernel) deliver(src string, frame any) {
 	nf, ok := frame.(netFrame)
 	if !ok {
@@ -91,8 +103,12 @@ func (k *Kernel) NetSend(proto, remote string, frame any, size int) error {
 	}
 	k.mu.Lock()
 	ep, ok := k.netPorts[remote]
+	fab := k.fab
 	k.mu.Unlock()
 	if !ok {
+		if fab != nil && fab.Reaches(remote) {
+			return fab.SendTo(remote, f, size)
+		}
 		return fmt.Errorf("host %s: no route to %q", k.h.Name, remote)
 	}
 	ep.Send(f, size)
@@ -103,9 +119,18 @@ func (k *Kernel) NetSend(proto, remote string, frame any, size int) error {
 func (k *Kernel) Routes() []string {
 	k.mu.Lock()
 	defer k.mu.Unlock()
+	seen := make(map[string]bool, len(k.netPorts))
 	out := make([]string, 0, len(k.netPorts))
 	for r := range k.netPorts {
+		seen[r] = true
 		out = append(out, r)
+	}
+	if k.fab != nil {
+		for _, r := range k.fab.Peers() {
+			if !seen[r] {
+				out = append(out, r)
+			}
+		}
 	}
 	return out
 }

@@ -1,0 +1,37 @@
+package host
+
+import (
+	"socksdirect/internal/costmodel"
+	"socksdirect/internal/exec"
+	"socksdirect/internal/fabric"
+)
+
+// Net is the cluster's routed network: two fabric.Net planes with
+// identical wire characteristics, one for the RDMA NICs and one for the
+// kernel network stacks. The two planes are deliberately separate objects
+// with separate edges — the monitor's liveness design (§4.5.4 flavor)
+// depends on the kernel probe path being fate-independent from the RDMA
+// path, so a fault schedule must be able to cut one plane of an edge
+// while the other keeps carrying probes.
+type Net struct {
+	Rdma *fabric.Net // RDMA plane (NIC-to-NIC edges)
+	Knet *fabric.Net // kernel plane (TCP/probe edges)
+}
+
+// NewNet builds both planes from the cost model's wire parameters.
+func NewNet(clk exec.Clock, costs *costmodel.Costs, seed int64) *Net {
+	cfg := LinkConfig(costs, seed)
+	return &Net{
+		Rdma: fabric.NewNet(clk, "rdma", cfg),
+		Knet: fabric.NewNet(clk, "net", cfg),
+	}
+}
+
+// Join attaches a host to both planes: its NIC routes RDMA frames over
+// the rdma plane and its kernel stack routes TCP frames over the net
+// plane. Call once per host; edges toward every earlier-joined host are
+// wired by the underlying fabric.Net.
+func (n *Net) Join(h *Host) {
+	h.NIC.AttachFabric(n.Rdma.AddHost(h.Name))
+	h.Kern.AttachFabric(n.Knet.AddHost(h.Name))
+}

@@ -129,7 +129,7 @@ func (m *Monitor) tickHeartbeats(ctx exec.Context) {
 		m.hbSend(ctx, p)
 	}
 	for _, p := range confirm {
-		m.hostDead(ctx, p)
+		m.hostDead(ctx, p, 0, true)
 	}
 }
 
@@ -189,20 +189,51 @@ func (m *Monitor) armHeartbeat(ctx exec.Context) {
 // per crashed process — and the channel is dropped. The connection records
 // live in the shards, so the router fans one sweep event into every
 // shard's inbox; each shard resets exactly the connections it owns
-// (shards.go, sweepHostDead). The hbDead latch keeps a single failure
-// from fanning out more than once; it clears when the host is heard from
-// again.
-func (m *Monitor) hostDead(ctx exec.Context, peer string) {
+// (shards.go, sweepHostDead).
+//
+// The fan-out is exactly-once per (host, epoch): the hbDead latch covers
+// one confirm episode, and hbDeadEpoch survives the latch being cleared —
+// a stale in-flight frame of the dead incarnation reopens the latch via
+// noteRemote, but a second confirmation of the same incarnation (our own
+// horizon racing a peer's KMHostDead gossip, or vice versa) still finds
+// hbDeadEpoch >= epoch and stops. Only a genuinely newer incarnation of
+// the host (a restart we heard from) can be confirmed dead again.
+//
+// epoch names the incarnation the verdict covers; zero means "whatever we
+// last heard", i.e. a locally confirmed horizon. With report set (the
+// direct confirm path), the verdict is gossiped as KMHostDead to every
+// tracked live peer so the whole cluster converges without each survivor
+// waiting out its own 3 s horizon; gossip receivers do not re-gossip —
+// in a full mesh the confirmer reaches everyone it can, and anyone it
+// cannot reach confirms on its own horizon.
+func (m *Monitor) hostDead(ctx exec.Context, peer string, epoch uint32, report bool) {
 	m.mu.Lock()
-	if m.hbDead[peer] {
+	if epoch == 0 {
+		epoch = m.peerEpochs[peer]
+	}
+	if m.hbDead[peer] ||
+		(epoch != 0 && m.hbDeadEpoch[peer] >= epoch) ||
+		(epoch != 0 && m.peerEpochs[peer] > epoch) {
 		m.mu.Unlock()
 		return
 	}
 	m.hbDead[peer] = true
+	if epoch > m.hbDeadEpoch[peer] {
+		m.hbDeadEpoch[peer] = epoch
+	}
 	delete(m.hbPeers, peer)
 	delete(m.mchans, peer)
 	for _, sh := range m.shards {
 		sh.inbox = append(sh.inbox, shardEvent{deadHost: peer})
+	}
+	var tell []string
+	if report {
+		for p := range m.hbPeers {
+			if !m.hbDead[p] {
+				tell = append(tell, p)
+			}
+		}
+		sort.Strings(tell) // deterministic gossip order
 	}
 	m.mu.Unlock()
 	mHostDeadFanouts.Inc()
@@ -213,4 +244,34 @@ func (m *Monitor) hostDead(ctx exec.Context, peer string) {
 	for _, sh := range m.shards {
 		sh.wake()
 	}
+	for _, p := range tell {
+		gm := ctlmsg.Msg{Kind: ctlmsg.KMHostDead, Aux: uint64(epoch)}
+		gm.SetHost(peer)
+		mGossipTx.Inc()
+		// Un-queued: a peer whose channel needs healing misses the rumor
+		// and converges on its own horizon instead.
+		m.mchanSend(ctx, p, &gm, false)
+	}
+}
+
+// onHostDeadGossip consumes a peer's KMHostDead verdict. The rumor is
+// dropped when it is about us, when we have fresher direct evidence the
+// host is alive (heard within the suspect window — the gossiping monitor
+// may sit behind an asymmetric partition we do not share), or when it
+// names an incarnation older than one we have already heard. Otherwise
+// the verdict fans out here exactly as a locally confirmed one would,
+// minus the re-gossip.
+func (m *Monitor) onHostDeadGossip(ctx exec.Context, cm *ctlmsg.Msg) {
+	dead := cm.HostStr()
+	deadEpoch := uint32(cm.Aux)
+	now := ctx.Now()
+	m.mu.Lock()
+	fresh := m.hbLastHeard[dead] != 0 && now-m.hbLastHeard[dead] < hbSuspectMiss*hbInterval
+	stale := deadEpoch != 0 && m.peerEpochs[dead] > deadEpoch
+	m.mu.Unlock()
+	if dead == "" || dead == m.H.Name || fresh || stale {
+		mGossipIgnored.Inc()
+		return
+	}
+	m.hostDead(ctx, dead, deadEpoch, false)
 }

@@ -33,6 +33,8 @@ var (
 	mHBMissed        = telemetry.C(telemetry.MonHBMissed)
 	mHBSuspects      = telemetry.C(telemetry.MonHBSuspects)
 	mHostDeadFanouts = telemetry.C(telemetry.MonHostDeadFanouts)
+	mGossipTx        = telemetry.C(telemetry.MonGossipTx)
+	mGossipIgnored   = telemetry.C(telemetry.MonGossipIgnored)
 
 	// mCtlByKind indexes a per-kind counter by ctlmsg.Kind, so counting a
 	// control message is two atomic adds and no map lookup.

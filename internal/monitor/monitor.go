@@ -79,6 +79,7 @@ type Monitor struct {
 	hbMissed     map[string]int      // consecutive ticks without a receipt
 	hbSuspected  map[string]bool     // crossed the suspect threshold this episode
 	hbDead       map[string]bool     // confirmed dead; no re-fan until heard again
+	hbDeadEpoch  map[string]uint32   // host -> highest incarnation already fanned dead
 	hbLastSent   map[string]int64    // remote host -> virtual time of last beacon/echo
 	hbLastTick   int64
 	hbArmed      bool   // a clock-driven tick wake is pending
@@ -166,6 +167,7 @@ func startEpoch(h *host.Host, ks *ksocket.Stack, epoch uint32) *Monitor {
 		hbMissed:    make(map[string]int),
 		hbSuspected: make(map[string]bool),
 		hbDead:      make(map[string]bool),
+		hbDeadEpoch: make(map[string]uint32),
 		hbLastSent:  make(map[string]int64),
 		probeSeq:    9000,
 	}
@@ -482,6 +484,14 @@ func (m *Monitor) routeRemote(ctx exec.Context, mc *mchan, cm *ctlmsg.Msg) {
 		// Liveness beacon; noteRemote already refreshed the peer's clock.
 		// Echo so a quiet monitor still proves liveness (rate-limited).
 		m.hbEcho(ctx, mc.peer)
+		return
+	}
+	if cm.Kind == ctlmsg.KMHostDead {
+		// Membership gossip: like heartbeats, it carries no state key and
+		// touches only router-owned liveness maps (plus the shard inboxes
+		// the fan-out always goes through), so it never leaves the router.
+		countCtl(cm.Kind)
+		m.onHostDeadGossip(ctx, cm)
 		return
 	}
 	sh := m.shardFor(cm)

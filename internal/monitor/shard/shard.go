@@ -56,9 +56,9 @@ func OfPID(pid int64, n int) int { return Of(uint64(pid), n) }
 // is addressed explicitly via Msg.Shard — a bounded control wait probes
 // the shard its request lives on, which is exactly the dispatch loop
 // whose silence it is measuring (one wedged shard cannot hide behind a
-// healthy sibling). KMHeartbeat never crosses a proc ring (it is
-// monitor-to-monitor and handled by the router), so it maps to shard 0
-// only as a harmless default.
+// healthy sibling). KMHeartbeat and KMHostDead never cross a proc ring
+// (they are monitor-to-monitor and handled by the router), so they map to
+// shard 0 only as a harmless default.
 func ForMsg(m *ctlmsg.Msg, n int) int {
 	if n <= 1 {
 		return 0

@@ -205,8 +205,15 @@ func (qp *QP) Connect(remoteHost string, remoteQPN uint32) error {
 	n := qp.nic
 	n.mu.Lock()
 	port, ok := n.ports[remoteHost]
+	fab := n.fab
 	n.mu.Unlock()
-	if !ok {
+	var sender portSender
+	switch {
+	case ok:
+		sender = port
+	case fab != nil && fab.Reaches(remoteHost):
+		sender = fabricSender{fab: fab, dst: remoteHost}
+	default:
 		return fmt.Errorf("rdma: no port toward host %q", remoteHost)
 	}
 	qp.mu.Lock()
@@ -215,7 +222,7 @@ func (qp *QP) Connect(remoteHost string, remoteQPN uint32) error {
 		return ErrQPState
 	}
 	qp.remoteHost, qp.remoteQPN = remoteHost, remoteQPN
-	qp.port = port
+	qp.port = sender
 	qp.state = QPRTS
 	return nil
 }

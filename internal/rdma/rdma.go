@@ -227,6 +227,7 @@ type NIC struct {
 
 	mu      sync.Mutex
 	ports   map[string]*fabric.Endpoint // remote host -> link endpoint
+	fab     *fabric.Port                // routed fabric attachment (N-host)
 	qps     map[uint32]*QP
 	mrs     map[uint64]*MR // rkey -> MR
 	nextQPN uint32
@@ -258,6 +259,32 @@ func (n *NIC) AddPort(remoteHost string, ep *fabric.Endpoint) {
 	n.ports[remoteHost] = ep
 	n.mu.Unlock()
 	ep.SetHandler(n.onFrame)
+}
+
+// AttachFabric wires the NIC into a routed fabric.Net: QPs toward hosts
+// without a dedicated point-to-point port transmit through the fabric
+// port's directed edges, and every inbound fabric frame enters the same
+// receive pipeline as point-to-point arrivals (RDMA frames carry their QPN,
+// so the source host adds nothing). Dedicated ports — notably the
+// intra-host loopback — keep priority over the fabric route.
+func (n *NIC) AttachFabric(p *fabric.Port) {
+	n.mu.Lock()
+	n.fab = p
+	n.mu.Unlock()
+	p.SetHandler(func(_ string, frame any, wireBytes int) { n.onFrame(frame, wireBytes) })
+}
+
+// fabricSender adapts one destination host of a fabric.Port to the QP's
+// portSender seam. Reachability was checked at Connect time; a later
+// routing error releases the frame inside SendTo and the loss surfaces as
+// a retransmission timeout, like any other drop.
+type fabricSender struct {
+	fab *fabric.Port
+	dst string
+}
+
+func (f fabricSender) Send(frame any, payloadBytes int) {
+	_ = f.fab.SendTo(f.dst, frame, payloadBytes)
 }
 
 // AllocPD creates a protection domain.
@@ -325,12 +352,21 @@ func (n *NIC) QPCount() int {
 	return len(n.qps)
 }
 
-// Port returns the fabric endpoint wired toward remoteHost, or nil. Fault
-// injection uses it to reach the link's runtime knobs.
+// Port returns this host's transmitter toward remoteHost — the dedicated
+// point-to-point endpoint if one exists, else the routed fabric's directed
+// edge — or nil. Fault injection uses it to reach the link's runtime
+// knobs; either way the endpoint returned governs only the local-to-remote
+// direction of the path.
 func (n *NIC) Port(remoteHost string) *fabric.Endpoint {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	return n.ports[remoteHost]
+	if ep := n.ports[remoteHost]; ep != nil {
+		return ep
+	}
+	if n.fab != nil {
+		return n.fab.EdgeTo(remoteHost)
+	}
+	return nil
 }
 
 // FailAllQPs forces every live QP on the adapter into error state,

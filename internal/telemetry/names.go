@@ -104,6 +104,10 @@ const (
 	MonHBSuspects      = "sd/monitor/hb_suspects"
 	MonHostDeadFanouts = "sd/monitor/host_dead_fanouts" // confirmed remote-host deaths
 
+	// cluster membership (N-host liveness view over all mchans).
+	MonGossipTx      = "sd/monitor/gossip_tx"      // KMHostDead verdicts gossiped to peers
+	MonGossipIgnored = "sd/monitor/gossip_ignored" // gossip dropped (self, stale epoch, fresh evidence of life)
+
 	// host / simulated kernel — the Table 4 rows.
 	HostSyscalls   = "sd/host/syscalls"
 	HostCopies     = "sd/host/copies"

@@ -95,6 +95,7 @@ type Cluster struct {
 	sim   *exec.Sim
 	real  *exec.Real
 	rt    exec.Runtime
+	net   *host.Net
 	hosts map[string]*Host
 	seedN uint64
 }
@@ -112,8 +113,13 @@ func NewCluster(cfg Config) *Cluster {
 		c.sim = exec.NewSim(exec.SimConfig{})
 		c.rt = c.sim
 	}
+	c.net = host.NewNet(c.rt.Clock(), c.cfg.Costs, int64(cfg.Seed))
 	return c
 }
+
+// Net exposes the cluster's routed network — both fabric planes — so
+// experiments can register directed edges with the fault injector.
+func (c *Cluster) Net() *host.Net { return c.net }
 
 // Host is one machine in the cluster.
 type Host struct {
@@ -141,9 +147,10 @@ func (c *Cluster) addBareHost(name string) *Host {
 	c.seedN++
 	hh := host.New(name, c.rt, c.cfg.Costs, c.cfg.Seed*1315423911+c.seedN)
 	h := &Host{cl: c, H: hh, KS: ksocket.New(hh)}
-	for _, other := range c.hosts {
-		host.Connect(hh, other.H, host.LinkConfig(c.cfg.Costs, int64(c.cfg.Seed+c.seedN)))
-	}
+	// Joining the routed fabric wires edges to every existing host in
+	// sorted order (deterministic, unlike iterating c.hosts), on both the
+	// RDMA and the kernel plane.
+	c.net.Join(hh)
 	c.hosts[name] = h
 	return h
 }
