@@ -31,6 +31,13 @@
 //	                    convergence with one death fan-out per survivor,
 //	                    bounded dials and zero buffer drift, then prints
 //	                    every survivor's membership view
+//	sdbench overload    overload-survival soak: a slow-receiver storm with
+//	                    armed deadlines and nonblock+epoll recovery, a
+//	                    10k-dial SYN flood against a capped backlog, a
+//	                    remote dial race against a capped shard inbox, and
+//	                    a bufpool quota squeeze — healthy flows must stay
+//	                    byte-exact with bounded p99, every shed must be a
+//	                    clean retryable errno, and buffers must not drift
 //	sdbench all         everything above
 //	sdbench sdstat [-json] [crash|chaos|smoke|cluster]
 //	                    run a workload, then print the per-connection flow
@@ -105,10 +112,11 @@ func main() {
 		"crash":     crash,
 		"mrestart":  mrestart,
 		"cluster":   cluster,
+		"overload":  overload,
 	}
 	order := []string{"table2", "table4", "fig7", "fig8",
 		"fig9", "fig10", "fig11", "fig12", "redis", "connscale", "ablate", "chaos", "crash",
-		"mrestart", "cluster"}
+		"mrestart", "cluster", "overload"}
 	switch cmd {
 	case "all":
 		for _, name := range order {
@@ -361,6 +369,20 @@ func mrestart() {
 	printDeltas("mrestart counter deltas (whole workload)", telemetry.Capture().Diff(before))
 	if !r.Passed() {
 		failureDump("mrestart")
+		os.Exit(1)
+	}
+}
+
+func overload() {
+	before := telemetry.Capture()
+	// The full soak: 10k dials through the capped backlog (the unit-test
+	// default keeps a faster flood; the CLI runs the paper-scale storm).
+	r := experiments.Overload(experiments.OverloadConfig{Dials: 10_000})
+	fmt.Println(r)
+	fmt.Println()
+	printDeltas("overload counter deltas (whole workload)", telemetry.Capture().Diff(before))
+	if !r.Passed() {
+		failureDump("overload")
 		os.Exit(1)
 	}
 }

@@ -9,7 +9,9 @@ import (
 	"text/tabwriter"
 
 	"socksdirect/internal/experiments"
+	"socksdirect/internal/monitor/shard"
 	"socksdirect/internal/obs"
+	"socksdirect/internal/telemetry"
 )
 
 // sdstatCmd runs a workload and prints the per-connection flow table —
@@ -21,7 +23,12 @@ import (
 // membership view (peer, state, epoch) — the operator's way to ask "who
 // does each host think is alive" after a drill.
 //
-//	sdbench sdstat [-json] [crash|chaos|smoke|cluster]
+// Every workload's output ends with the backpressure counter block —
+// the shed/refusal/timeout totals an operator reads to tell "overloaded
+// and shedding cleanly" from "wedged" (see README "Operating under
+// overload").
+//
+//	sdbench sdstat [-json] [crash|chaos|smoke|cluster|overload]
 func sdstatCmd(args []string) {
 	fs := flag.NewFlagSet("sdstat", flag.ExitOnError)
 	asJSON := fs.Bool("json", false, "emit the flow table as JSON")
@@ -48,13 +55,17 @@ func sdstatCmd(args []string) {
 		r := experiments.ClusterSoak(experiments.ClusterConfig{})
 		fmt.Fprintln(os.Stderr, r)
 		members = r.Membership
+	case "overload":
+		r := experiments.Overload(experiments.OverloadConfig{})
+		fmt.Fprintln(os.Stderr, r)
 	default:
-		fmt.Fprintf(os.Stderr, "sdstat: unknown workload %q (want crash, chaos, smoke or cluster)\n", workload)
+		fmt.Fprintf(os.Stderr, "sdstat: unknown workload %q (want crash, chaos, smoke, cluster or overload)\n", workload)
 		os.Exit(2)
 	}
 	obs.SetArmed(true)
 
 	flows := obs.Flows()
+	bpKeys, bp := backpressureCounters()
 	if *asJSON {
 		out := any(flows)
 		if workload == "cluster" {
@@ -62,6 +73,12 @@ func sdstatCmd(args []string) {
 				Flows      any                         `json:"flows"`
 				Membership []experiments.ClusterMember `json:"membership"`
 			}{flows, members}
+		}
+		if workload == "overload" {
+			out = struct {
+				Flows        any              `json:"flows"`
+				Backpressure map[string]int64 `json:"backpressure"`
+			}{flows, bp}
 		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
@@ -90,6 +107,36 @@ func sdstatCmd(args []string) {
 	}
 	tw.Flush()
 	fmt.Printf("%d flows\n", len(flows))
+
+	fmt.Println()
+	tw = tabwriter.NewWriter(os.Stdout, 2, 8, 2, ' ', 0)
+	fmt.Fprintln(tw, "BACKPRESSURE COUNTER\tVALUE")
+	for _, k := range bpKeys {
+		fmt.Fprintf(tw, "%s\t%d\n", k, bp[k])
+	}
+	tw.Flush()
+}
+
+// backpressureCounters collects the overload valves' counters — how much
+// work the run turned away, and through which valve. All zeros means the
+// run never hit a cap; a wedge (hung flows) with zeros here means the
+// stall is NOT clean shedding and needs the flight recorder.
+func backpressureCounters() ([]string, map[string]int64) {
+	snap := telemetry.Capture()
+	keys := []string{
+		telemetry.CoreEWouldBlock,
+		telemetry.CoreDeadlineTimeouts,
+		telemetry.CoreConnRefused,
+		telemetry.MemPoolQuotaRejects,
+	}
+	for i := 0; i < shard.DefaultCount; i++ {
+		keys = append(keys, telemetry.MonShardInboxShed(i))
+	}
+	vals := make(map[string]int64, len(keys))
+	for _, k := range keys {
+		vals[k] = snap.Get(k)
+	}
+	return keys, vals
 }
 
 // obssmokeCmd is the CI observability gate: a short cross-host echo under

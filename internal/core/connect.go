@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"socksdirect/internal/ctlmsg"
 	"socksdirect/internal/exec"
@@ -22,7 +23,21 @@ type Listener struct {
 	port uint16
 	t    *host.Thread
 	fd   int
+
+	// Overload controls: an absolute accept deadline (virtual ns, 0 =
+	// none) and O_NONBLOCK (empty backlog → EWOULDBLOCK immediately).
+	deadline atomic.Int64
+	nonblock atomic.Bool
 }
+
+// SetDeadline arms an absolute virtual-time deadline for Accept; an
+// accept that finds no dispatched connection by then returns ETIMEDOUT.
+// 0 clears.
+func (lst *Listener) SetDeadline(at int64) { lst.deadline.Store(at) }
+
+// SetNonblock switches the listener into (or out of) O_NONBLOCK mode:
+// Accept on an empty backlog returns EWOULDBLOCK instead of waiting.
+func (lst *Listener) SetNonblock(on bool) { lst.nonblock.Store(on) }
 
 type pendingAccept struct {
 	m    ctlmsg.Msg
@@ -209,6 +224,16 @@ func (lst *Listener) Accept(ctx exec.Context) (*Socket, host.KFile, error) {
 			return s, kf, err
 		}
 		l.mu.Unlock()
+		// Empty backlog is the genuine would-block point (§4.5.2 steal
+		// hints notwithstanding): honor O_NONBLOCK and the accept deadline.
+		if lst.nonblock.Load() {
+			mEWouldBlock.Inc()
+			return nil, nil, EWOULDBLOCK
+		}
+		if dl := lst.deadline.Load(); dl != 0 && ctx.Now() >= dl {
+			mDeadlineTimeouts.Inc()
+			return nil, nil, ETIMEDOUT
+		}
 		if e := l.monEpoch.Load(); e != hintEpoch {
 			// The monitor restarted while we waited: the steal hint died
 			// with it (accept itself stays blocking — dispatches resume
@@ -234,9 +259,18 @@ func (lst *Listener) Accept(ctx exec.Context) (*Socket, host.KFile, error) {
 		// can drain the control queue (and thereby push the backlog +
 		// wake this queue) while we sleep.
 		l.leave()
+		if dl := lst.deadline.Load(); dl != 0 {
+			// Timer wake so the park cannot outlive the deadline; the loop
+			// head returns ETIMEDOUT. Spurious wakes are absorbed by the
+			// predicate re-check.
+			l.H.Clk.After(dl-ctx.Now(), func() { bl.wq.Wake(l.H.Clk, 0) })
+		}
 		bl.wq.Wait(ctx, func() bool {
 			if l.P.Dead() {
 				return true // escape the park; the loop head unwinds
+			}
+			if dl := lst.deadline.Load(); dl != 0 && ctx.Now() >= dl {
+				return true // deadline escape; the loop head surfaces it
 			}
 			l.pollCtl(ctx)
 			l.mu.Lock()
@@ -267,8 +301,19 @@ func (lst *Listener) Close(ctx exec.Context) {
 	lst.lib.sendCtl(ctx, &m)
 }
 
+// acceptDrained tells the monitor one dispatched connection left this
+// listener's backlog, freeing a slot against the backlog cap (overload
+// admission: the monitor refuses SYNs while a listener's outstanding
+// dispatches sit at ListenerBacklogCap).
+func (l *Libsd) acceptDrained(ctx exec.Context, t *host.Thread, pa *pendingAccept) {
+	m := ctlmsg.Msg{Kind: ctlmsg.KAcceptDone, ConnID: pa.m.ConnID, Port: pa.m.Port,
+		PID: int64(l.P.PID), TID: int64(t.TID)}
+	l.sendCtl(ctx, &m)
+}
+
 func (l *Libsd) finishAccept(ctx exec.Context, t *host.Thread, pa *pendingAccept) (*Socket, host.KFile, error) {
 	me := int64(MakeGTID(l.P.PID, t.TID))
+	defer l.acceptDrained(ctx, t, pa)
 	switch pa.m.Transport {
 	case ctlmsg.TransportSHM:
 		if p := l.H.Process(int(pa.m.PID)); p == nil || p.Dead() {
@@ -322,6 +367,15 @@ func (l *Libsd) finishAccept(ctx exec.Context, t *host.Thread, pa *pendingAccept
 // hosts, kernel TCP fallback otherwise (§4.5.3). It returns either a
 // user-space socket or a kernel file for the fallback path.
 func (l *Libsd) Connect(ctx exec.Context, t *host.Thread, dstHost string, dstPort uint16) (*Socket, host.KFile, error) {
+	return l.ConnectDeadline(ctx, t, dstHost, dstPort, 0)
+}
+
+// ConnectDeadline is Connect with an absolute virtual-time deadline (0 =
+// none): a dial that has not completed — control-plane round trip AND the
+// Fig. 6 Wait-Server ACK — by the deadline aborts with ETIMEDOUT. The
+// deadline is the nonblocking-connect story for this stack: instead of an
+// EINPROGRESS state machine, a bounded dial.
+func (l *Libsd) ConnectDeadline(ctx exec.Context, t *host.Thread, dstHost string, dstPort uint16, deadline int64) (*Socket, host.KFile, error) {
 	l.enter()
 	defer l.leave()
 	l.mu.Lock()
@@ -365,18 +419,26 @@ func (l *Libsd) Connect(ctx exec.Context, t *host.Thread, dstHost string, dstPor
 	// must not park this thread forever. A re-send across a restart is
 	// safe — the monitor dedups connects by ConnID.
 	w := l.newCtlWaiter(ctx, l.ctlShard(&m), func(c exec.Context) { l.sendCtl(c, &m) })
+	abandon := func() {
+		l.mu.Lock()
+		delete(l.pending, connID)
+		l.mu.Unlock()
+		if pc.rl != nil {
+			// Abandon the optimistic endpoint; its QP never connected.
+			pc.rl.qp.Close()
+		}
+	}
 	for pc.status.Load() == 0 {
 		if l.P.Dead() {
 			return nil, nil, ErrProcessKilled
 		}
+		if deadline != 0 && ctx.Now() >= deadline {
+			mDeadlineTimeouts.Inc()
+			abandon()
+			return nil, nil, ETIMEDOUT
+		}
 		if err := w.step(ctx); err != nil {
-			l.mu.Lock()
-			delete(l.pending, connID)
-			l.mu.Unlock()
-			if pc.rl != nil {
-				// Abandon the optimistic endpoint; its QP never connected.
-				pc.rl.qp.Close()
-			}
+			abandon()
 			return nil, nil, err // ETIMEDOUT
 		}
 	}
@@ -389,6 +451,12 @@ func (l *Libsd) Connect(ctx exec.Context, t *host.Thread, dstHost string, dstPor
 			return nil, nil, ErrDenied
 		case ctlmsg.StatusNoListener:
 			return nil, nil, ErrNoListener
+		case ctlmsg.StatusBacklogFull:
+			// Every listener for the port is at its backlog cap (or the
+			// monitor shed the SYN under inbox pressure). Retryable — the
+			// dial left no state behind on either host.
+			mConnRefused.Inc()
+			return nil, nil, ECONNREFUSED
 		default:
 			return nil, nil, ErrConnTimeout
 		}
@@ -434,6 +502,13 @@ func (l *Libsd) Connect(ctx exec.Context, t *host.Thread, dstHost string, dstPor
 		}
 		if s.peerGone() {
 			return nil, nil, s.resetErr(ctx, DirRecv)
+		}
+		if deadline != 0 && ctx.Now() >= deadline {
+			mDeadlineTimeouts.Inc()
+			l.mu.Lock()
+			delete(l.pending, connID)
+			l.mu.Unlock()
+			return nil, nil, ETIMEDOUT
 		}
 		l.pollCtl(ctx)
 		l.lib_pumpYield(ctx)

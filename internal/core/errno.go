@@ -49,4 +49,28 @@ var (
 	// secret pairing) when the monitor goes silent: the caller's state is
 	// intact and the same call may simply be issued again.
 	EAGAIN = fmt.Errorf("libsd: resource temporarily unavailable (EAGAIN): %w", ErrMonitorDown)
+
+	// EWOULDBLOCK is returned by data-plane operations on a socket in
+	// nonblocking mode that would otherwise have to wait: a full send ring,
+	// an empty receive ring, an accept with no pending connection, a
+	// zero-copy send with no free pool slots. Unlike EAGAIN above it does
+	// NOT wrap ErrMonitorDown — the control plane is healthy, the op simply
+	// needs the peer to make progress. Retry after EPOLLOUT/EPOLLIN.
+	EWOULDBLOCK = errors.New("libsd: operation would block (EWOULDBLOCK)")
+
+	// ECONNREFUSED is returned by Connect when the remote listener's
+	// backlog is at its cap (or the monitor shed the SYN under inbox
+	// pressure). The dial left no state behind; retrying after the flood
+	// subsides succeeds normally.
+	ECONNREFUSED = errors.New("libsd: connection refused (ECONNREFUSED)")
+
+	// ENOBUFS is returned by send-side staging when the host's bufpool
+	// byte quota is exhausted. In-flight buffers always drain — the caller
+	// should back off and retry once receivers consume.
+	ENOBUFS = errors.New("libsd: no buffer space available (ENOBUFS)")
 )
+
+// Deadline misses (SetSendDeadline/SetRecvDeadline expiring mid-op) also
+// surface ETIMEDOUT, mirroring SO_SNDTIMEO/SO_RCVTIMEO semantics; the
+// sd/core/deadline_timeouts counter separates them from control-plane
+// silence for operators.

@@ -22,6 +22,11 @@ var (
 	mTCPFallbacks  = telemetry.C(telemetry.CoreTCPFallbacks)
 	mResets        = telemetry.C(telemetry.CoreResets)
 
+	// Overload shedding: ops that bailed instead of waiting.
+	mEWouldBlock      = telemetry.C(telemetry.CoreEWouldBlock)
+	mDeadlineTimeouts = telemetry.C(telemetry.CoreDeadlineTimeouts)
+	mConnRefused      = telemetry.C(telemetry.CoreConnRefused)
+
 	// mCtlStale shares the monitor's stale-drop counter: a control message
 	// stamped by a dead monitor incarnation is the same event whichever
 	// side of the ring notices it.

@@ -57,7 +57,55 @@ type Socket struct {
 	sendBR *batchRing
 	recvBR *batchRing
 
+	// Overload controls (ISSUE-10). Deadlines are absolute virtual-clock
+	// nanoseconds (0 = none); nonblock turns every would-wait point into
+	// an immediate EWOULDBLOCK. All are racing-thread-safe atomics so one
+	// thread can arm a deadline while another is mid-op.
+	sendDeadline atomic.Int64
+	recvDeadline atomic.Int64
+	nonblock     atomic.Bool
+
 	established bool // saw the MAck (Fig. 6 Wait-Server -> Established)
+}
+
+// SetSendDeadline arms an absolute virtual-time deadline (ns) for send-side
+// waits: ring-full sends, send-token takeovers, zero-copy pool-slot waits.
+// A send that cannot complete by the deadline returns ETIMEDOUT. 0 clears.
+func (s *Socket) SetSendDeadline(at int64) { s.sendDeadline.Store(at) }
+
+// SetRecvDeadline arms an absolute virtual-time deadline (ns) for recv-side
+// waits (empty-ring blocking, recv-token takeovers). 0 clears.
+func (s *Socket) SetRecvDeadline(at int64) { s.recvDeadline.Store(at) }
+
+// SetNonblock switches the socket into (or out of) O_NONBLOCK mode: any
+// operation that would wait returns EWOULDBLOCK instead, and epoll's
+// EPOLLIN/EPOLLOUT report when a retry can make progress.
+func (s *Socket) SetNonblock(on bool) { s.nonblock.Store(on) }
+
+// Nonblock reports whether the socket is in O_NONBLOCK mode.
+func (s *Socket) Nonblock() bool { return s.nonblock.Load() }
+
+// opDeadline returns the armed absolute deadline for a direction (0 = none).
+func (s *Socket) opDeadline(dir int) int64 {
+	if dir == DirSend {
+		return s.sendDeadline.Load()
+	}
+	return s.recvDeadline.Load()
+}
+
+// blockBudget is consulted at every genuine would-block point on the data
+// plane. It returns EWOULDBLOCK in nonblocking mode, ETIMEDOUT once the
+// direction's deadline has passed, and nil when the op may keep waiting.
+func (s *Socket) blockBudget(ctx exec.Context, dir int) error {
+	if s.nonblock.Load() {
+		mEWouldBlock.Inc()
+		return EWOULDBLOCK
+	}
+	if dl := s.opDeadline(dir); dl != 0 && ctx.Now() >= dl {
+		mDeadlineTimeouts.Inc()
+		return ETIMEDOUT
+	}
+	return nil
 }
 
 // initFlow registers the socket in the obs flow table (the `sdstat` view,
@@ -149,6 +197,13 @@ func (s *Socket) acquireToken(ctx exec.Context, t *host.Thread, dir int) error {
 				// drain; no point waiting for a token on a dead queue.
 				op.End(ctx.Now(), false)
 				return s.resetErr(ctx, dir)
+			}
+			if err := s.blockBudget(ctx, dir); err != nil {
+				// Deadline/nonblock shed mid-takeover. We stay in the
+				// monitor's FIFO: a later grant parks in the holder var and
+				// the next op's fast path claims it.
+				op.End(ctx.Now(), false)
+				return err
 			}
 			// Note: no hand-back of OUR pending grant here — that would
 			// drop us from the monitor's FIFO. But revocations against
@@ -279,6 +334,15 @@ func (s *Socket) sendMsgT(ctx exec.Context, t *host.Thread, typ uint8, a, b []by
 		if s.peerGone() {
 			return s.resetErr(ctx, DirSend)
 		}
+		if t != nil {
+			// Application-driven send blocked on a full ring: honor the
+			// socket's deadline / O_NONBLOCK. Internal protocol messages
+			// (t == nil: MShut, zero-copy returns) keep blocking — shedding
+			// those would corrupt the close/ZC handshakes.
+			if err := s.blockBudget(ctx, DirSend); err != nil {
+				return err
+			}
+		}
 		if s.side.RxShut.Load() && s.side.TxShut.Load() {
 			return ErrShutdown
 		}
@@ -380,6 +444,9 @@ func (s *Socket) blockOnRecv(ctx exec.Context, t *host.Thread) error {
 		if s.side.RxShut.Load() {
 			return nil // EOF surfaces in caller
 		}
+		if err := s.blockBudget(ctx, DirRecv); err != nil {
+			return err
+		}
 		s.lib.pollCtl(ctx)
 		s.maybeHandBack(ctx, DirRecv)
 		if s.side.RecvHolder.Load() != int64(s.lib.GTIDOf(t)) {
@@ -417,6 +484,14 @@ func (s *Socket) blockOnRecv(ctx exec.Context, t *host.Thread) error {
 				s.lib.recvCQArm(rep, th)
 			}
 			mRecvSleeps.Inc()
+			if dl := s.opDeadline(DirRecv); dl != 0 {
+				// Armed deadline: schedule a timer unpark so the park can
+				// never outlive the deadline (the loop re-checks and
+				// returns ETIMEDOUT). A spurious unpark after data arrived
+				// is absorbed by the permit/loop.
+				th := ctx.Self()
+				ctx.After(dl-ctx.Now(), th.Unpark)
+			}
 			m := ctlmsg.Msg{Kind: ctlmsg.KSleepNote, QID: s.side.QID, PID: int64(s.lib.P.PID), TID: int64(t.TID)}
 			s.lib.sendCtl(ctx, &m)
 			// Track the park so a restarted monitor — whose predecessor's
@@ -525,7 +600,25 @@ func (s *Socket) Readable() bool {
 		s.side.RxShut.Load() || s.peerGone()
 }
 
-// Writable reports whether the TX ring has room.
+// writableHeadroom is the TX-ring room required before epoll reports
+// EPOLLOUT: one maximum inline chunk plus header/wrap slack, so a woken
+// writer's next Send cannot immediately re-block.
+const writableHeadroom = maxInline + 128
+
+// Writable reports whether a Send would make progress without waiting
+// (epoll hook): the TX ring has room for at least one full inline chunk,
+// or the op would fail fast (shutdown/peer crash) — failing immediately
+// is "not blocking" too, exactly like kernel EPOLLOUT|EPOLLERR.
 func (s *Socket) Writable() bool {
-	return !s.side.TxShut.Load()
+	if s.side.TxShut.Load() || s.peerGone() {
+		return true // Send returns ErrShutdown/EPIPE without waiting
+	}
+	if _, ok := s.ep.(*tcpEP); ok {
+		return true // degraded path: the kernel socket buffers
+	}
+	tx := s.side.TX
+	if tx == nil {
+		return true
+	}
+	return tx.Cap()-tx.Used() >= writableHeadroom
 }

@@ -254,6 +254,12 @@ func (s *Socket) zcSendInterChunk(ctx exec.Context, ep *rdmaEP, addr mem.VAddr, 
 		if s.peerGone() {
 			return s.resetErr(ctx, DirSend)
 		}
+		// Slot exhaustion is the zero-copy would-block point: honor the
+		// send deadline and O_NONBLOCK instead of spinning forever behind
+		// a receiver that stopped returning slots.
+		if err := s.blockBudget(ctx, DirSend); err != nil {
+			return err
+		}
 		ctx.Charge(s.lib.H.Costs.RingOp)
 		ctx.Yield()
 	}
@@ -285,6 +291,14 @@ func (s *Socket) zcSendInterChunk(ctx exec.Context, ep *rdmaEP, addr mem.VAddr, 
 // send as ordinary bytes. Scratch comes from the buffer pool; Send copies
 // into the ring, so the pool gets the buffer back before returning.
 func (s *Socket) sendVACopy(ctx exec.Context, t *host.Thread, addr mem.VAddr, n int) (int, error) {
+	// Memory admission control: send-side staging is charged against the
+	// host's bufpool byte quota. Receive paths are never charged — their
+	// progress is what drains the quota — so admission can shed load but
+	// never deadlock.
+	if !bufpool.TryAdmit(n) {
+		return 0, ENOBUFS
+	}
+	defer bufpool.AdmitRelease(n)
 	pb := bufpool.Get(n)
 	if err := s.lib.P.AS.Read(addr, pb.B); err != nil {
 		pb.Release()
@@ -296,6 +310,10 @@ func (s *Socket) sendVACopy(ctx exec.Context, t *host.Thread, addr mem.VAddr, n 
 }
 
 func (s *Socket) sendVACopyLocked(ctx exec.Context, addr mem.VAddr, n int) (int, error) {
+	if !bufpool.TryAdmit(n) {
+		return 0, ENOBUFS
+	}
+	defer bufpool.AdmitRelease(n)
 	pb := bufpool.Get(n)
 	if err := s.lib.P.AS.Read(addr, pb.B); err != nil {
 		pb.Release()
@@ -527,6 +545,15 @@ func (s *Socket) recvExactly(ctx exec.Context, buf []byte) (int, error) {
 			}
 			if s.peerGone() {
 				return got, s.resetErr(ctx, DirRecv)
+			}
+			// Deadline only (no O_NONBLOCK bail here): the ZC tail rides
+			// the ring right behind its descriptor, and shedding mid-tail
+			// would tear a remapped message in half. A deadline miss still
+			// bounds the wait — the partial count is returned with the
+			// error.
+			if dl := s.opDeadline(DirRecv); dl != 0 && ctx.Now() >= dl {
+				mDeadlineTimeouts.Inc()
+				return got, ETIMEDOUT
 			}
 			ctx.Charge(s.lib.H.Costs.RingOp)
 			ctx.Yield()

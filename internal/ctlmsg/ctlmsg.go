@@ -44,6 +44,7 @@ const (
 	KReRegistered                 // libsd -> monitor: one state-report record (Aux selects ReReg*)
 	KMHeartbeat                   // monitor -> monitor: periodic liveness beacon
 	KMHostDead                    // monitor -> monitor: host-death verdict gossip (Host=dead host, Aux=its epoch)
+	KAcceptDone                   // listener libsd -> monitor: accepted ConnID, free a backlog slot
 )
 
 // kindNames maps Kind values to stable lower-case names (telemetry keys,
@@ -80,10 +81,11 @@ var kindNames = [...]string{
 	KReRegistered: "reregistered",
 	KMHeartbeat:   "mheartbeat",
 	KMHostDead:    "mhostdead",
+	KAcceptDone:   "accept_done",
 }
 
 // NumKinds is one past the highest defined Kind (array sizing).
-const NumKinds = int(KMHostDead) + 1
+const NumKinds = int(KAcceptDone) + 1
 
 // Dir values for KReQP/KReQPPeer: a QP re-establishment is either the
 // fork flow of §4.1.2 (the old QP stays alive — the parent still uses it)
@@ -127,6 +129,11 @@ const (
 	StatusInUse
 	StatusNoListener
 	StatusNoRoute
+
+	// StatusBacklogFull refuses a SYN because every listener for the port
+	// is at its backlog cap (or the monitor shed the SYN under shard inbox
+	// pressure). Surfaces as ECONNREFUSED at the dialer; retryable.
+	StatusBacklogFull
 )
 
 // Size is the fixed encoded size of a Msg (149 bytes of payload padded to

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sort"
@@ -10,6 +11,7 @@ import (
 	sd "socksdirect"
 	"socksdirect/internal/ctlmsg"
 	"socksdirect/internal/exec"
+	"socksdirect/internal/monitor"
 	"socksdirect/internal/rdma"
 	"socksdirect/internal/shm"
 	"socksdirect/internal/telemetry"
@@ -137,6 +139,9 @@ func RunBenchSuite(short bool) BenchReport {
 		add(e)
 	}
 	for _, e := range benchCluster(short) {
+		add(e)
+	}
+	for _, e := range benchOverload(short) {
 		add(e)
 	}
 	return rep
@@ -320,6 +325,177 @@ func benchConnScale(short bool) []BenchEntry {
 			e.MsgsPerSec = float64(sh.Events) / (float64(cs.ElapsedNs) / 1e9)
 		}
 		entries = append(entries, e)
+	}
+	return entries
+}
+
+// benchOverload measures the two overload fast paths the backpressure
+// work added — the "cost of saying no", which must stay cheap for
+// shedding to protect anything:
+//
+//   - overload_shed: a nonblocking send against a full ring returning
+//     EWOULDBLOCK. This is the per-op price a load-shedding sender pays
+//     on every spin, so it must be near the raw ring-probe cost and
+//     allocation-free.
+//   - dial_refused: a dial bounced by a saturated listener backlog with
+//     ECONNREFUSED. This bounds the monitor-side work per turned-away
+//     SYN — the number that decides whether a SYN flood starves the
+//     control plane or is absorbed at line rate.
+//
+// Both run on virtual time (deterministic) so CI can diff them tightly.
+func benchOverload(short bool) []BenchEntry {
+	n := 4000
+	if short {
+		n = 400
+	}
+
+	// --- overload_shed: EWOULDBLOCK on a full ring -------------------
+	oldRing := monitor.SetSockRingCap(16 * 1024)
+	shedDist := telemetry.D("sd/bench/shed_ns")
+	var shedMW memWindow
+	var shedElapsed int64
+	shedBad := 0
+	{
+		w := newWorld()
+		sp := w.ha.NewProcess("srv", 0)
+		cp := w.ha.NewProcess("cli", 0)
+		sp.Go("srv", func(st *sd.T) {
+			ln, err := st.Listen(7900)
+			if err != nil {
+				return
+			}
+			if _, err := ln.Accept(); err != nil {
+				return
+			}
+			// Never recv: the ring fills and stays full for the whole
+			// measured window.
+			st.Sleep(2_000_000_000)
+		})
+		cp.Go("cli", func(t *sd.T) {
+			t.Sleep(10_000)
+			c, err := t.Dial("hostA", 7900)
+			if err != nil {
+				shedBad = n
+				return
+			}
+			c.SetNonblock(true)
+			buf := make([]byte, 64)
+			for { // fill until the first EWOULDBLOCK (warm-up rides along)
+				if _, err := c.Send(buf); errors.Is(err, sd.EWOULDBLOCK) {
+					break
+				}
+			}
+			runtime.GC()
+			for i := 0; i < benchRefill; i++ {
+				c.Send(buf)
+			}
+			shedMW.mark()
+			start := t.Now()
+			for i := 0; i < n; i++ {
+				t0 := t.Now()
+				_, err := c.Send(buf)
+				shedDist.Observe(t.Now() - t0)
+				if !errors.Is(err, sd.EWOULDBLOCK) {
+					shedBad++
+				}
+			}
+			shedElapsed = t.Now() - start
+			shedMW.mark()
+			for i := 0; i < n; i++ {
+				c.Send(buf)
+			}
+			shedMW.mark()
+		})
+		w.sim.Run()
+	}
+	monitor.SetSockRingCap(oldRing)
+
+	// --- dial_refused: ECONNREFUSED off a full backlog ---------------
+	oldBacklog := monitor.SetListenerBacklogCap(1)
+	refDist := telemetry.D("sd/bench/refused_ns")
+	var refMW memWindow
+	var refElapsed int64
+	refN := n / 4 // a dial is heavier than a ring probe; keep runs short
+	refBad := 0
+	{
+		w := newWorld()
+		sp := w.ha.NewProcess("srv", 0)
+		cp := w.ha.NewProcess("cli", 0)
+		sp.Go("srv", func(st *sd.T) {
+			if _, err := st.Listen(7901); err != nil {
+				return
+			}
+			// Never accept: the first dispatched connection pins the
+			// single backlog slot, so every later SYN is refused.
+			st.Sleep(2_000_000_000)
+		})
+		cp.Go("cli", func(t *sd.T) {
+			t.Sleep(10_000)
+			// Pin the single backlog slot: the dial is dispatched into the
+			// accept queue (occupying the slot) but the listener never
+			// accepts, so Wait-Server times out client-side. The monitor's
+			// slot stays held — exactly the saturation this bench needs.
+			if _, err := t.DialDeadline("hostA", 7901, t.Now()+1_000_000); !errors.Is(err, sd.ETIMEDOUT) {
+				refBad = refN
+				return
+			}
+			for i := 0; i < benchWarm; i++ {
+				t.Dial("hostA", 7901)
+			}
+			runtime.GC()
+			for i := 0; i < benchRefill; i++ {
+				t.Dial("hostA", 7901)
+			}
+			refMW.mark()
+			start := t.Now()
+			for i := 0; i < refN; i++ {
+				t0 := t.Now()
+				_, err := t.Dial("hostA", 7901)
+				refDist.Observe(t.Now() - t0)
+				if !errors.Is(err, sd.ECONNREFUSED) {
+					refBad++
+				}
+			}
+			refElapsed = t.Now() - start
+			refMW.mark()
+			for i := 0; i < refN; i++ {
+				t.Dial("hostA", 7901)
+			}
+			refMW.mark()
+		})
+		w.sim.Run()
+	}
+	monitor.SetListenerBacklogCap(oldBacklog)
+
+	shedAllocs, shedBytes := shedMW.perOp(n)
+	refAllocs, refBytes := refMW.perOp(refN)
+	// A wrong errno anywhere invalidates the measurement: zero the rate
+	// so the compare gate flags it instead of shipping a bogus number.
+	if shedBad > 0 {
+		shedElapsed = 0
+	}
+	if refBad > 0 {
+		refElapsed = 0
+	}
+	entries := []BenchEntry{
+		{
+			Name: "overload_shed", MsgBytes: 64, Msgs: n,
+			P50Ns: shedDist.Quantile(0.50), P99Ns: shedDist.Quantile(0.99),
+			AllocsPerOp: shedAllocs, BytesPerOp: shedBytes,
+			Deterministic: true,
+		},
+		{
+			Name: "dial_refused", Msgs: refN,
+			P50Ns: refDist.Quantile(0.50), P99Ns: refDist.Quantile(0.99),
+			AllocsPerOp: refAllocs, BytesPerOp: refBytes,
+			Deterministic: true,
+		},
+	}
+	if shedElapsed > 0 {
+		entries[0].MsgsPerSec = float64(n) / (float64(shedElapsed) / 1e9)
+	}
+	if refElapsed > 0 {
+		entries[1].MsgsPerSec = float64(refN) / (float64(refElapsed) / 1e9)
 	}
 	return entries
 }

@@ -19,6 +19,7 @@ func TestBenchSuiteShape(t *testing.T) {
 		"connscale_shard0_dispatch", "connscale_shard1_dispatch",
 		"connscale_shard2_dispatch", "connscale_shard3_dispatch",
 		"cluster_dial", "cluster_echo_8B",
+		"overload_shed", "dial_refused",
 	}
 	if len(rep.Entries) != len(want) {
 		t.Fatalf("%d entries, want %d", len(rep.Entries), len(want))

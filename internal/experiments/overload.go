@@ -1,0 +1,622 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+
+	sd "socksdirect"
+	"socksdirect/internal/bufpool"
+	"socksdirect/internal/mem"
+	"socksdirect/internal/monitor"
+	"socksdirect/internal/monitor/shard"
+	"socksdirect/internal/telemetry"
+)
+
+// Overload is the overload-survival drill: every bounded queue and
+// shedding decision in the stack is pushed past its limit at once, and
+// the drill asserts that the system degrades by *refusing work with a
+// precise errno* instead of by hanging, leaking, or collapsing healthy
+// traffic. Four storms share one cluster:
+//
+//   - slow-receiver storm: senders fill small rings against receivers
+//     that stall, with a send deadline armed — each must see exactly one
+//     ETIMEDOUT, then switch to O_NONBLOCK and finish the byte-exact
+//     stream via EWOULDBLOCK + epoll EPOLLOUT round-trips;
+//   - dial flood: a burst of dials against one listener with a tiny
+//     monitor-side backlog cap — overflow dials get a retryable
+//     ECONNREFUSED, and every dial eventually succeeds;
+//   - remote dial race: inter-host dials with the monitor shard inbox
+//     capped, exercising the router-level SYN shed (StatusBacklogFull
+//     handback without ever queueing);
+//   - quota squeeze: a sender whose staging exceeds the bufpool byte
+//     quota sees ENOBUFS, resubmits under the quota, and delivers
+//     byte-exact — with zero admitted-byte drift at the end.
+//
+// Healthy streaming pairs run throughout; their send p99 is the
+// collateral-damage gauge (backpressure must not become head-of-line
+// blocking for flows that are keeping up).
+
+// OverloadConfig parameterizes the drill. Zero values pick defaults
+// sized for a fast CI run; the soak (`sdbench overload`, TestOverloadSoak)
+// turns the dial flood up to 10k.
+type OverloadConfig struct {
+	HealthyPairs int   // streaming pairs that must stay unaffected
+	SlowPairs    int   // slow-receiver pairs: deadline sender, then nonblock+epoll
+	Dials        int   // dial-flood attempts against the capped listener
+	Flooders     int   // concurrent dialer processes in the flood
+	RemoteDials  int   // inter-host dials racing the capped shard inbox
+	BacklogCap   int   // monitor.SetListenerBacklogCap for the run
+	InboxCap     int   // monitor.SetMonInboxCap for the run
+	QuotaBytes   int64 // bufpool send-staging quota for the squeeze
+	Chunk        int   // stream chunk size (bytes)
+	Rounds       int   // chunks per streaming pair
+	RingCap      int   // per-socket ring size (small, so rings fill)
+	// HealthyP99Bound caps the healthy pairs' per-send p99 (ns).
+	HealthyP99Bound int64
+}
+
+func (c *OverloadConfig) defaults() {
+	if c.HealthyPairs <= 0 {
+		c.HealthyPairs = 4
+	}
+	if c.SlowPairs <= 0 {
+		c.SlowPairs = 4
+	}
+	if c.Dials <= 0 {
+		c.Dials = 200
+	}
+	if c.Flooders <= 0 {
+		c.Flooders = 8
+	}
+	if c.RemoteDials <= 0 {
+		c.RemoteDials = 24
+	}
+	if c.BacklogCap <= 0 {
+		c.BacklogCap = 4
+	}
+	if c.InboxCap <= 0 {
+		c.InboxCap = 2
+	}
+	if c.QuotaBytes <= 0 {
+		c.QuotaBytes = 1024
+	}
+	if c.Chunk <= 0 {
+		c.Chunk = 1024
+	}
+	if c.Rounds <= 0 {
+		c.Rounds = 64
+	}
+	if c.RingCap <= 0 {
+		// Must exceed the Writable() headroom (maxInline + slack), or
+		// EPOLLOUT could never fire on a fully drained ring.
+		c.RingCap = 16 * 1024
+	}
+	if c.HealthyP99Bound <= 0 {
+		c.HealthyP99Bound = 2_000_000 // 2 ms virtual
+	}
+}
+
+// overloadHealthyNs is the drill-private distribution of healthy-pair
+// send latencies (reset per run).
+const overloadHealthyNs = "sd/overload/healthy_send_ns"
+
+// OverloadResult is the drill's measurement.
+type OverloadResult struct {
+	HealthyPairs, SlowPairs, Dials, RemoteDials int
+	RunNs                                       int64
+
+	// Slow-receiver storm.
+	Timeouts      int   // senders that saw exactly one ETIMEDOUT
+	ExtraTimeouts int   // ETIMEDOUTs past the first on any sender (want 0)
+	WouldBlocks   int   // EWOULDBLOCK returns observed by nonblock senders
+	EpollRetries  int   // sends completed after an EPOLLOUT wakeup
+	SlowDelivered int64 // bytes verified byte-exact by stalled receivers
+	SlowPrefixBad int   // slow receivers whose stream mismatched
+
+	// Healthy pairs.
+	HealthyDone  int   // pairs that delivered their full stream byte-exact
+	HealthyBad   int   // pairs with a mismatch or unexpected errno
+	HealthyP99Ns int64 // per-send p99 across healthy senders
+
+	// Dial flood.
+	FloodSuccess int // dials that eventually connected
+	FloodRefused int // retryable ECONNREFUSED handbacks absorbed on the way
+
+	// Remote dial race.
+	RemoteSuccess int
+	RemoteRefused int
+
+	// Quota squeeze.
+	QuotaRejected  int   // ENOBUFS returns observed (want >= 1)
+	QuotaDelivered int64 // bytes delivered byte-exact after resubmission
+	QuotaBad       int
+	QuotaDrift     int64 // bufpool.AdmittedBytes at quiescence (want 0)
+	PoolLeak       int64 // bufpool.Outstanding delta (want 0)
+
+	Hung int // workers that never reached their end state
+
+	// Counter deltas across the run (telemetry cross-check).
+	CtrTimeouts     int64 // sd/core/deadline_timeouts
+	CtrEWouldBlock  int64 // sd/core/ewouldblock
+	CtrConnRefused  int64 // sd/core/conn_refused
+	CtrQuotaRejects int64 // sd/mem/pool/quota_rejects
+	CtrInboxShed    int64 // sum of sd/monitor/shard/<i>/inbox_shed
+}
+
+// Passed reports whether the drill met the acceptance bar.
+func (r OverloadResult) Passed() bool {
+	return r.Hung == 0 &&
+		// Deadlines: exactly one ETIMEDOUT per stalled sender, and the
+		// stream still completes byte-exact afterwards.
+		r.Timeouts == r.SlowPairs && r.ExtraTimeouts == 0 &&
+		r.WouldBlocks > 0 && r.EpollRetries > 0 && r.SlowPrefixBad == 0 &&
+		// Healthy flows: untouched and fast.
+		r.HealthyDone == r.HealthyPairs && r.HealthyBad == 0 &&
+		// Shedding: refusals happened and every refused dial retried to
+		// success.
+		r.FloodSuccess == r.Dials && r.FloodRefused > 0 &&
+		r.RemoteSuccess == r.RemoteDials &&
+		// Memory admission: ENOBUFS observed, stream still delivered,
+		// no admitted-byte drift, no pooled-buffer leak.
+		r.QuotaRejected >= 1 && r.QuotaBad == 0 &&
+		r.QuotaDrift == 0 && r.PoolLeak == 0 &&
+		// Telemetry agrees with what the workers observed.
+		r.CtrTimeouts >= int64(r.Timeouts) &&
+		r.CtrEWouldBlock >= int64(r.WouldBlocks) &&
+		r.CtrConnRefused >= int64(r.FloodRefused) &&
+		r.CtrQuotaRejects >= int64(r.QuotaRejected)
+}
+
+func (r OverloadResult) String() string {
+	verdict := "PASS"
+	if !r.Passed() {
+		verdict = "FAIL"
+	}
+	return fmt.Sprintf(
+		"overload: %d healthy + %d slow pairs, %d flood dials, %d remote dials in %.2fs virtual\n"+
+			"  deadlines: %d/%d exactly-one ETIMEDOUT (extra=%d), %d EWOULDBLOCK, %d epoll retries\n"+
+			"  slow streams: %d bytes exact, %d mismatched; healthy: %d/%d done, %d bad, p99=%.1fus\n"+
+			"  flood: %d/%d connected after %d refusals; remote: %d/%d after %d refusals (inbox shed=%d)\n"+
+			"  quota: %d ENOBUFS, %d bytes exact, drift=%d, pool leak=%d, hung=%d\n"+
+			"  counters: timeouts=%d ewouldblock=%d refused=%d quota_rejects=%d\n"+
+			"  %s",
+		r.HealthyPairs, r.SlowPairs, r.Dials, r.RemoteDials, float64(r.RunNs)/1e9,
+		r.Timeouts, r.SlowPairs, r.ExtraTimeouts, r.WouldBlocks, r.EpollRetries,
+		r.SlowDelivered, r.SlowPrefixBad, r.HealthyDone, r.HealthyPairs, r.HealthyBad,
+		float64(r.HealthyP99Ns)/1e3,
+		r.FloodSuccess, r.Dials, r.FloodRefused,
+		r.RemoteSuccess, r.RemoteDials, r.RemoteRefused, r.CtrInboxShed,
+		r.QuotaRejected, r.QuotaDelivered, r.QuotaDrift, r.PoolLeak, r.Hung,
+		r.CtrTimeouts, r.CtrEWouldBlock, r.CtrConnRefused, r.CtrQuotaRejects,
+		verdict)
+}
+
+// Drill phase timing (virtual ns).
+const (
+	overloadStall     = 5_000_000 // slow receivers stall this long after accept
+	overloadDeadline  = 500_000   // send deadline armed by stalled-pair senders
+	overloadFloodPace = 20_000    // accepter delay per flood accept (keeps backlog full)
+	overloadBackoff   = 50_000    // dialer retry backoff after a refusal
+)
+
+// Overload runs the drill.
+func Overload(cfg OverloadConfig) OverloadResult {
+	cfg.defaults()
+	res := OverloadResult{
+		HealthyPairs: cfg.HealthyPairs, SlowPairs: cfg.SlowPairs,
+		Dials: cfg.Dials, RemoteDials: cfg.RemoteDials,
+	}
+
+	oldRing := monitor.SetSockRingCap(cfg.RingCap)
+	defer monitor.SetSockRingCap(oldRing)
+	oldBacklog := monitor.SetListenerBacklogCap(cfg.BacklogCap)
+	defer monitor.SetListenerBacklogCap(oldBacklog)
+	oldInbox := monitor.SetMonInboxCap(cfg.InboxCap)
+	defer monitor.SetMonInboxCap(oldInbox)
+	oldQuota := bufpool.SetQuotaBytes(cfg.QuotaBytes)
+	defer bufpool.SetQuotaBytes(oldQuota)
+	telemetry.Default.Reset()
+
+	w := newWorld()
+	poolBefore := bufpool.Outstanding()
+	before := telemetry.Capture()
+	healthyDist := telemetry.D(overloadHealthyNs)
+
+	var hung int // decremented as workers finish
+	finish := func() { hung-- }
+
+	for i := 0; i < cfg.HealthyPairs; i++ {
+		hung += 2
+		overloadHealthyPair(w, 7600+uint16(i), cfg, &res, healthyDist, finish)
+	}
+	for i := 0; i < cfg.SlowPairs; i++ {
+		hung += 2
+		overloadSlowPair(w, 7650+uint16(i), cfg, &res, finish)
+	}
+	hung += 1 + cfg.Flooders
+	overloadFlood(w, 7700, cfg, &res, finish)
+	hung += 2
+	overloadRemote(w, 7701, cfg, &res, finish)
+	hung += 2
+	overloadQuota(w, 7702, cfg, &res, finish)
+
+	res.RunNs = w.sim.Run()
+
+	res.Hung = hung
+	res.HealthyP99Ns = healthyDist.Quantile(0.99)
+	d := telemetry.Capture().Diff(before)
+	res.CtrTimeouts = d[telemetry.CoreDeadlineTimeouts]
+	res.CtrEWouldBlock = d[telemetry.CoreEWouldBlock]
+	res.CtrConnRefused = d[telemetry.CoreConnRefused]
+	res.CtrQuotaRejects = d[telemetry.MemPoolQuotaRejects]
+	for i := 0; i < shard.DefaultCount; i++ {
+		res.CtrInboxShed += d[telemetry.MonShardInboxShed(i)]
+	}
+	res.QuotaDrift = bufpool.AdmittedBytes()
+	res.PoolLeak = bufpool.Outstanding() - poolBefore
+	return res
+}
+
+// overloadHealthyPair streams Rounds*Chunk bytes with a receiver that
+// keeps up; each send's latency lands in dist.
+func overloadHealthyPair(w *world, port uint16, cfg OverloadConfig,
+	res *OverloadResult, dist *telemetry.Distribution, finish func()) {
+
+	total := cfg.Rounds * cfg.Chunk
+	payload := make([]byte, total)
+	seedTx := uint64(port)*0x9E3779B97F4A7C15 + 3
+	xorshiftFill(payload, &seedTx)
+
+	sp := w.ha.NewProcess(fmt.Sprintf("ovl-hsrv%d", port), 0)
+	cp := w.ha.NewProcess(fmt.Sprintf("ovl-hcli%d", port), 0)
+	sp.Go("srv", func(t *sd.T) {
+		defer finish()
+		ln, err := t.Listen(port)
+		if err != nil {
+			return
+		}
+		c, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		got := make([]byte, total)
+		rd := 0
+		for rd < total {
+			n, err := c.Recv(got[rd:])
+			rd += n
+			if err != nil {
+				res.HealthyBad++
+				return
+			}
+		}
+		for i := range got {
+			if got[i] != payload[i] {
+				res.HealthyBad++
+				return
+			}
+		}
+		res.HealthyDone++
+	})
+	cp.Go("cli", func(t *sd.T) {
+		defer finish()
+		c, err := overloadDial(t, "hostA", port)
+		if err != nil {
+			res.HealthyBad++
+			return
+		}
+		for off := 0; off < total; off += cfg.Chunk {
+			s0 := t.Now()
+			if _, err := c.Send(payload[off : off+cfg.Chunk]); err != nil {
+				res.HealthyBad++
+				return
+			}
+			dist.Observe(t.Now() - s0)
+			t.Sleep(5_000) // pace: the receiver keeps up, the ring stays shallow
+		}
+	})
+}
+
+// overloadSlowPair: the receiver stalls after accepting; the sender arms
+// a deadline, absorbs exactly one ETIMEDOUT against the full ring, then
+// finishes the stream in O_NONBLOCK mode via epoll EPOLLOUT.
+func overloadSlowPair(w *world, port uint16, cfg OverloadConfig,
+	res *OverloadResult, finish func()) {
+
+	total := cfg.Rounds * cfg.Chunk
+	payload := make([]byte, total)
+	seedTx := uint64(port)*0x9E3779B97F4A7C15 + 5
+	xorshiftFill(payload, &seedTx)
+
+	sp := w.ha.NewProcess(fmt.Sprintf("ovl-ssrv%d", port), 0)
+	cp := w.ha.NewProcess(fmt.Sprintf("ovl-scli%d", port), 0)
+	sp.Go("srv", func(t *sd.T) {
+		defer finish()
+		ln, err := t.Listen(port)
+		if err != nil {
+			return
+		}
+		c, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		t.Sleep(overloadStall) // the stall that fills the sender's ring
+		got := make([]byte, total)
+		rd := 0
+		for rd < total {
+			n, err := c.Recv(got[rd:])
+			rd += n
+			if err != nil {
+				res.SlowPrefixBad++
+				return
+			}
+		}
+		for i := range got {
+			if got[i] != payload[i] {
+				res.SlowPrefixBad++
+				return
+			}
+		}
+		res.SlowDelivered += int64(total)
+	})
+	cp.Go("cli", func(t *sd.T) {
+		defer finish()
+		c, err := overloadDial(t, "hostA", port)
+		if err != nil {
+			res.SlowPrefixBad++
+			return
+		}
+		c.SetSendDeadline(t.Now() + overloadDeadline)
+		sent, timeouts := 0, 0
+		// Phase 1: blocking sends against the filling ring until the
+		// deadline fires.
+		for sent < total && timeouts == 0 {
+			n, err := c.Send(payload[sent:min(sent+cfg.Chunk, total)])
+			sent += n
+			if err != nil {
+				if errors.Is(err, sd.ETIMEDOUT) {
+					timeouts++
+					continue
+				}
+				res.SlowPrefixBad++
+				return
+			}
+		}
+		if timeouts == 1 {
+			res.Timeouts++
+		}
+		// Phase 2: clear the deadline, go nonblocking, and finish the
+		// stream on EPOLLOUT wakeups.
+		c.SetSendDeadline(0)
+		c.SetNonblock(true)
+		ep := t.Epoll()
+		if err := ep.Add(c.FD(), sd.EPOLLOUT); err != nil {
+			res.SlowPrefixBad++
+			return
+		}
+		evs := make([]sd.Event, 4)
+		waited := false
+		for sent < total {
+			n, err := c.Send(payload[sent:min(sent+cfg.Chunk, total)])
+			sent += n
+			if err == nil {
+				if waited {
+					res.EpollRetries++
+					waited = false
+				}
+				continue
+			}
+			if errors.Is(err, sd.EWOULDBLOCK) {
+				res.WouldBlocks++
+				if _, werr := ep.Wait(evs); werr != nil {
+					res.SlowPrefixBad++
+					return
+				}
+				waited = true
+				continue
+			}
+			if errors.Is(err, sd.ETIMEDOUT) {
+				res.ExtraTimeouts++
+				continue
+			}
+			res.SlowPrefixBad++
+			return
+		}
+	})
+}
+
+// overloadDial dials with refusal-aware retry: under the drill's global
+// backlog cap, even well-behaved pairs can have their one dial land while
+// another storm transiently fills a shard, so everyone retries refusals.
+func overloadDial(t *sd.T, host string, port uint16) (*sd.Conn, error) {
+	for tries := 0; ; tries++ {
+		c, err := t.Dial(host, port)
+		if err == nil {
+			return c, nil
+		}
+		retryable := errors.Is(err, sd.ECONNREFUSED) || errors.Is(err, sd.ErrNoListener)
+		if !retryable || tries >= 400 {
+			return nil, err
+		}
+		t.Sleep(overloadBackoff)
+	}
+}
+
+// overloadFlood: cfg.Dials dials from cfg.Flooders processes against one
+// listener whose monitor-side backlog is capped; the accepter drains
+// slowly so the cap genuinely refuses. Every refusal must be retryable
+// to success.
+func overloadFlood(w *world, port uint16, cfg OverloadConfig,
+	res *OverloadResult, finish func()) {
+
+	acc := w.ha.NewProcess("ovl-flood-srv", 0)
+	acc.Go("acceptor", func(t *sd.T) {
+		defer finish()
+		ln, err := t.Listen(port)
+		if err != nil {
+			return
+		}
+		for k := 0; k < cfg.Dials; k++ {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			c.Close()
+			t.Sleep(overloadFloodPace)
+		}
+	})
+	per := (cfg.Dials + cfg.Flooders - 1) / cfg.Flooders
+	remaining := cfg.Dials
+	for f := 0; f < cfg.Flooders; f++ {
+		share := per
+		if share > remaining {
+			share = remaining
+		}
+		remaining -= share
+		if share == 0 {
+			finish()
+			continue
+		}
+		fp := w.ha.NewProcess(fmt.Sprintf("ovl-flood-cli%d", f), 0)
+		fp.Go("dialer", func(t *sd.T) {
+			defer finish()
+			t.Sleep(10_000)
+			for k := 0; k < share; k++ {
+				for tries := 0; ; tries++ {
+					c, err := t.Dial("hostA", port)
+					if err == nil {
+						res.FloodSuccess++
+						c.Close()
+						break
+					}
+					if errors.Is(err, sd.ECONNREFUSED) {
+						res.FloodRefused++
+					} else if !errors.Is(err, sd.ErrNoListener) {
+						return // unexpected errno: leave the dial unsuccessful
+					}
+					if tries >= 2000 {
+						return
+					}
+					t.Sleep(overloadBackoff)
+				}
+			}
+		})
+	}
+}
+
+// overloadRemote: inter-host dials against a capped shard inbox and a
+// capped backlog. Refusals come back as retryable ECONNREFUSED either
+// from the router-level SYN shed or from pickListener.
+func overloadRemote(w *world, port uint16, cfg OverloadConfig,
+	res *OverloadResult, finish func()) {
+
+	acc := w.ha.NewProcess("ovl-rem-srv", 0)
+	acc.Go("acceptor", func(t *sd.T) {
+		defer finish()
+		ln, err := t.Listen(port)
+		if err != nil {
+			return
+		}
+		for k := 0; k < cfg.RemoteDials; k++ {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			c.Close()
+			t.Sleep(overloadFloodPace)
+		}
+	})
+	cp := w.hb.NewProcess("ovl-rem-cli", 0)
+	cp.Go("dialer", func(t *sd.T) {
+		defer finish()
+		t.Sleep(10_000)
+		for k := 0; k < cfg.RemoteDials; k++ {
+			for tries := 0; ; tries++ {
+				c, err := t.Dial("hostA", port)
+				if err == nil {
+					res.RemoteSuccess++
+					c.Close()
+					break
+				}
+				if errors.Is(err, sd.ECONNREFUSED) {
+					res.RemoteRefused++
+				} else if !errors.Is(err, sd.ErrNoListener) {
+					return
+				}
+				if tries >= 2000 {
+					return
+				}
+				t.Sleep(overloadBackoff)
+			}
+		}
+	})
+}
+
+// overloadQuota: the sender's first staging attempt exceeds the bufpool
+// byte quota (ENOBUFS), then resubmits in under-quota slices and the
+// receiver verifies the full stream byte-exact.
+func overloadQuota(w *world, port uint16, cfg OverloadConfig,
+	res *OverloadResult, finish func()) {
+
+	slice := int(cfg.QuotaBytes)
+	total := 4 * slice
+	payload := make([]byte, total)
+	seedTx := uint64(port)*0x9E3779B97F4A7C15 + 9
+	xorshiftFill(payload, &seedTx)
+
+	sp := w.ha.NewProcess("ovl-quota-srv", 0)
+	cp := w.ha.NewProcess("ovl-quota-cli", 0)
+	sp.Go("srv", func(t *sd.T) {
+		defer finish()
+		ln, err := t.Listen(port)
+		if err != nil {
+			return
+		}
+		c, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		got := make([]byte, total)
+		rd := 0
+		for rd < total {
+			n, err := c.Recv(got[rd:])
+			rd += n
+			if err != nil {
+				res.QuotaBad++
+				return
+			}
+		}
+		for i := range got {
+			if got[i] != payload[i] {
+				res.QuotaBad++
+				return
+			}
+		}
+		res.QuotaDelivered += int64(total)
+	})
+	cp.Go("cli", func(t *sd.T) {
+		defer finish()
+		c, err := overloadDial(t, "hostA", port)
+		if err != nil {
+			res.QuotaBad++
+			return
+		}
+		addr := t.Alloc(total)
+		if err := t.WriteMem(addr, payload); err != nil {
+			res.QuotaBad++
+			return
+		}
+		// One oversized staging attempt: must be refused, not admitted.
+		if _, err := c.SendVA(addr, total); !errors.Is(err, sd.ENOBUFS) {
+			res.QuotaBad++
+			return
+		}
+		res.QuotaRejected++
+		// Resubmit in slices the quota admits.
+		for off := 0; off < total; off += slice {
+			if _, err := c.SendVA(addr+mem.VAddr(off), slice); err != nil {
+				res.QuotaBad++
+				return
+			}
+		}
+	})
+}

@@ -125,6 +125,14 @@ type connRec struct {
 	pids     [2]int // [client, listener]; 0 = not local
 	peerHost string // "" = intra-host
 	shmTok   shm.Token
+
+	// Backlog accounting (overload admission): which listener the
+	// dispatch landed on, and whether it is still queued there (occupying
+	// a blUsed slot). queued flips false on KAcceptDone; a steal moves
+	// lref to the thief.
+	lport  uint16
+	lref   listenerRef
+	queued bool
 }
 
 type waiterRef struct{ pid, tid int }
@@ -135,8 +143,9 @@ type remotePendEntry struct {
 }
 
 type stealReq struct {
-	thiefPID, thiefTID int
-	port               uint16
+	thiefPID, thiefTID   int
+	victimPID, victimTID int // backlog slot transfer on a successful steal
+	port                 uint16
 }
 
 // Start creates the monitor, attaches it to the host, and spawns the
@@ -500,6 +509,23 @@ func (m *Monitor) routeRemote(ctx exec.Context, mc *mchan, cm *ctlmsg.Msg) {
 		ev.cm.TS = ctx.Now() // routing-hop start for the shard's span
 	}
 	m.mu.Lock()
+	if capN := MonInboxCap(); capN > 0 && len(sh.inbox) >= capN &&
+		cm.Kind == ctlmsg.KMSyn {
+		// Shard saturated: shed the one kind that is safely refusable. A
+		// SYN turned away here costs the dialer a retryable ECONNREFUSED;
+		// every other kind is a step of an in-flight protocol (acks, death
+		// notices, QP recovery) whose loss would wedge it, so those always
+		// append — the cap bounds admission, not correctness.
+		sh.cInboxShed.Inc()
+		m.mu.Unlock()
+		obs.Trigger(obs.TrigOverloadShed, ctx.Now(),
+			"monitor shard inbox full: SYN shed with backlog-full refusal")
+		r := ctlmsg.Msg{Kind: ctlmsg.KMRefused, ConnID: cm.ConnID,
+			Status: ctlmsg.StatusBacklogFull, Epoch: m.epoch,
+			TS: ctx.Now(), TraceID: cm.TraceID, SpanID: cm.SpanID}
+		mc.send(&r)
+		return
+	}
 	sh.inbox = append(sh.inbox, ev)
 	m.mu.Unlock()
 	sh.wake()
@@ -602,6 +628,13 @@ func (m *Monitor) cleanupProcess(ctx exec.Context, pid int) {
 				delete(sh.steals, id)
 			}
 		}
+		// Backlog occupancy charged to the corpse's listeners dies with it;
+		// records still queued toward it must not release those rows later.
+		for key := range sh.blUsed {
+			if key.pid == pid {
+				delete(sh.blUsed, key)
+			}
+		}
 		for connID, e := range sh.remotePend {
 			if e.clientPID == pid {
 				delete(sh.remotePend, connID)
@@ -626,6 +659,9 @@ func (m *Monitor) cleanupProcess(ctx exec.Context, pid int) {
 		for qid, c := range sh.conns {
 			if c.pids[0] != pid && c.pids[1] != pid {
 				continue
+			}
+			if c.queued && c.lref.pid == pid {
+				c.queued = false // the slot row was just purged above
 			}
 			if sh.connOwner[qid] == pid {
 				delete(sh.connOwner, qid)
@@ -834,6 +870,18 @@ func (m *Monitor) dispatch(ctx exec.Context, pc *procChan, cm *ctlmsg.Msg) {
 		m.onAcceptHint(ctx, pc, cm)
 	case ctlmsg.KStealRes:
 		m.onStealRes(ctx, pc, cm)
+	case ctlmsg.KAcceptDone:
+		// A listener drained the dispatched connection from its backlog:
+		// free the admission slot pickListener claimed for it. Unknown or
+		// already-released ConnIDs no-op (a restarted monitor's resurrected
+		// records carry queued=false — its blUsed died with the incarnation).
+		sh := m.shardOf(cm.ConnID)
+		m.mu.Lock()
+		if c := sh.conns[cm.ConnID]; c != nil && c.queued {
+			c.queued = false
+			m.releaseBacklogSlotLocked(c.lport, c.lref)
+		}
+		m.mu.Unlock()
 	case ctlmsg.KMSynAck:
 		// Server libsd finished building its endpoint: relay to the
 		// client's monitor.
@@ -956,17 +1004,18 @@ func (m *Monitor) dispatchRemote(ctx exec.Context, mc *mchan, cm *ctlmsg.Msg) {
 			// it); the original dispatch stands.
 			return
 		}
-		ref, ok := m.pickListener(cm.Port)
-		if !ok {
-			r := ctlmsg.Msg{Kind: ctlmsg.KMRefused, ConnID: cm.ConnID, Epoch: m.epoch,
-				TS: ctx.Now(), TraceID: cm.TraceID, SpanID: cm.SpanID}
+		ref, st := m.pickListener(cm.Port)
+		if st != ctlmsg.StatusOK {
+			r := ctlmsg.Msg{Kind: ctlmsg.KMRefused, ConnID: cm.ConnID, Status: st,
+				Epoch: m.epoch, TS: ctx.Now(), TraceID: cm.TraceID, SpanID: cm.SpanID}
 			mc.send(&r)
 			return
 		}
 		m.mu.Lock()
 		sh.remotePend[cm.ConnID] = remotePendEntry{clientHost: mc.peer}
 		sh.connOwner[cm.ConnID] = ref.pid
-		sh.conns[cm.ConnID] = &connRec{pids: [2]int{0, ref.pid}, peerHost: mc.peer}
+		sh.conns[cm.ConnID] = &connRec{pids: [2]int{0, ref.pid}, peerHost: mc.peer,
+			lport: cm.Port, lref: ref, queued: true}
 		m.ConnsDispatched++
 		m.mu.Unlock()
 		mDispatches.Inc()
@@ -993,7 +1042,13 @@ func (m *Monitor) dispatchRemote(ctx exec.Context, mc *mchan, cm *ctlmsg.Msg) {
 		entry := sh.remotePend[cm.ConnID]
 		delete(sh.remotePend, cm.ConnID)
 		m.mu.Unlock()
-		m.fail(ctx, entry.clientPID, cm, ctlmsg.StatusNoListener)
+		st := cm.Status
+		if st == ctlmsg.StatusOK {
+			// Older refusals carried no status; no-listener is the only
+			// thing they could have meant.
+			st = ctlmsg.StatusNoListener
+		}
+		m.fail(ctx, entry.clientPID, cm, st)
 	case ctlmsg.KReQPPeer:
 		sh := m.shardOf(cm.QID)
 		m.mu.Lock()
@@ -1095,21 +1150,51 @@ func (m *Monitor) addListener(port uint16, pid, tid int) {
 	}
 }
 
-// pickListener round-robins over a port's listeners (§4.5.2). Callable
+// pickListener round-robins over a port's listeners (§4.5.2), skipping
+// listeners whose backlog occupancy sits at ListenerBacklogCap. On
+// success it claims one backlog slot for the chosen listener (the caller
+// must record the dispatch with queued=true so KAcceptDone/steal/cleanup
+// release it). The status return distinguishes a port nobody listens on
+// (StatusNoListener) from a port where every backlog is full
+// (StatusBacklogFull → ECONNREFUSED at the dialer, retryable). Callable
 // from any loop: a connect's shard (keyed by connection ID) is usually
 // not the port's shard, and this cross-shard read under the shared mutex
 // is the deliberate thin path between partitions.
-func (m *Monitor) pickListener(port uint16) (listenerRef, bool) {
+func (m *Monitor) pickListener(port uint16) (listenerRef, uint8) {
 	sh := m.shardOfPort(port)
+	capN := ListenerBacklogCap()
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	refs := sh.listeners[port]
 	if len(refs) == 0 {
-		return listenerRef{}, false
+		return listenerRef{}, ctlmsg.StatusNoListener
 	}
-	i := sh.rrIdx[port] % len(refs)
-	sh.rrIdx[port] = i + 1
-	return refs[i], true
+	start := sh.rrIdx[port]
+	for k := 0; k < len(refs); k++ {
+		i := (start + k) % len(refs)
+		r := refs[i]
+		bk := blKey{port: port, pid: r.pid, tid: r.tid}
+		if capN > 0 && sh.blUsed[bk] >= capN {
+			continue
+		}
+		sh.rrIdx[port] = i + 1
+		sh.blUsed[bk]++
+		return r, ctlmsg.StatusOK
+	}
+	return listenerRef{}, ctlmsg.StatusBacklogFull
+}
+
+// releaseBacklogSlot returns one claimed backlog slot (accept drained the
+// connection, the dispatch was abandoned, or the listener died). Caller
+// holds m.mu.
+func (m *Monitor) releaseBacklogSlotLocked(port uint16, ref listenerRef) {
+	sh := m.shardOfPort(port)
+	bk := blKey{port: port, pid: ref.pid, tid: ref.tid}
+	if n := sh.blUsed[bk]; n > 1 {
+		sh.blUsed[bk] = n - 1
+	} else {
+		delete(sh.blUsed, bk)
+	}
 }
 
 // --- connect dispatch ---
@@ -1193,9 +1278,9 @@ func (m *Monitor) fail(ctx exec.Context, pid int, cm *ctlmsg.Msg, status uint8) 
 }
 
 func (m *Monitor) dispatchIntra(ctx exec.Context, pc *procChan, cm *ctlmsg.Msg) {
-	ref, ok := m.pickListener(cm.Port)
-	if !ok {
-		m.fail(ctx, pc.p.PID, cm, ctlmsg.StatusNoListener)
+	ref, st := m.pickListener(cm.Port)
+	if st != ctlmsg.StatusOK {
+		m.fail(ctx, pc.p.PID, cm, st)
 		return
 	}
 	is := core.NewIntraSock(cm.ConnID, SockRingCap())
@@ -1203,7 +1288,8 @@ func (m *Monitor) dispatchIntra(ctx exec.Context, pc *procChan, cm *ctlmsg.Msg) 
 	sh := m.shardOf(cm.ConnID)
 	m.mu.Lock()
 	sh.connOwner[cm.ConnID] = ref.pid
-	sh.conns[cm.ConnID] = &connRec{pids: [2]int{pc.p.PID, ref.pid}, shmTok: seg.Token}
+	sh.conns[cm.ConnID] = &connRec{pids: [2]int{pc.p.PID, ref.pid}, shmTok: seg.Token,
+		lport: cm.Port, lref: ref, queued: true}
 	m.ConnsDispatched++
 	m.mu.Unlock()
 	mDispatches.Inc()
@@ -1245,6 +1331,34 @@ func SockRingCap() int { return int(sockRingCap.Load()) }
 // intra-host sockets and returns the previous value. Existing sockets are
 // unaffected.
 func SetSockRingCap(n int) int { return int(sockRingCap.Swap(int64(n))) }
+
+// listenerBacklogCap bounds dispatched-but-not-accepted connections per
+// listener thread (the monitor-side SOMAXCONN). 0 = unbounded, the
+// historical behavior; overload drills and operators set a real cap,
+// turning a dial storm into retryable ECONNREFUSED instead of unbounded
+// monitor state growth.
+var listenerBacklogCap atomic.Int64
+
+// ListenerBacklogCap returns the per-listener backlog cap (0 = unbounded).
+func ListenerBacklogCap() int { return int(listenerBacklogCap.Load()) }
+
+// SetListenerBacklogCap installs a per-listener backlog cap and returns
+// the previous value. Applies to subsequent dispatches only.
+func SetListenerBacklogCap(n int) int { return int(listenerBacklogCap.Swap(int64(n))) }
+
+// monInboxCap bounds each shard's router-fed inbox. 0 = unbounded. At the
+// cap, sheddable arrivals (inter-host SYNs) get an immediate
+// StatusBacklogFull handback — the dialer sees a retryable ECONNREFUSED —
+// instead of queueing without bound behind a saturated shard;
+// protocol-critical kinds (acks, death notices) always append.
+var monInboxCap atomic.Int64
+
+// MonInboxCap returns the per-shard inbox cap (0 = unbounded).
+func MonInboxCap() int { return int(monInboxCap.Load()) }
+
+// SetMonInboxCap installs a per-shard inbox cap and returns the previous
+// value.
+func SetMonInboxCap(n int) int { return int(monInboxCap.Swap(int64(n))) }
 
 // --- token arbitration (§4.1.1) ---
 
@@ -1380,7 +1494,8 @@ func (m *Monitor) onAcceptHint(ctx exec.Context, pc *procChan, cm *ctlmsg.Msg) {
 	}
 	sh.stealSeq++
 	id := sh.stealSeq
-	sh.steals[id] = stealReq{thiefPID: int(cm.PID), thiefTID: int(cm.TID), port: cm.Port}
+	sh.steals[id] = stealReq{thiefPID: int(cm.PID), thiefTID: int(cm.TID), port: cm.Port,
+		victimPID: victim.pid, victimTID: victim.tid}
 	m.mu.Unlock()
 	req := ctlmsg.Msg{Kind: ctlmsg.KStealReq, Port: cm.Port, TID: int64(victim.tid), Aux: id}
 	m.sendTo(ctx, victim.pid, &req, true)
@@ -1408,6 +1523,20 @@ func (m *Monitor) onStealRes(ctx exec.Context, pc *procChan, cm *ctlmsg.Msg) {
 	csh.connOwner[cm.ConnID] = sr.thiefPID
 	if c := csh.conns[cm.ConnID]; c != nil {
 		c.pids[1] = sr.thiefPID // the stolen conn now terminates at the thief
+		if c.queued {
+			// The admission slot moves with the descriptor: the victim's
+			// backlog shrank, the thief's grew. Its KAcceptDone (sent when
+			// the thief finishes the accept) must release the thief's row.
+			psh := m.shardOfPort(cm.Port)
+			bk := blKey{port: cm.Port, pid: sr.victimPID, tid: sr.victimTID}
+			if n := psh.blUsed[bk]; n > 1 {
+				psh.blUsed[bk] = n - 1
+			} else {
+				delete(psh.blUsed, bk)
+			}
+			psh.blUsed[blKey{port: cm.Port, pid: sr.thiefPID, tid: sr.thiefTID}]++
+			c.lref = listenerRef{pid: sr.thiefPID, tid: sr.thiefTID}
+		}
 	}
 	m.mu.Unlock()
 	m.sendTo(ctx, sr.thiefPID, &nc, true)

@@ -66,8 +66,8 @@ func TestListenerRoundRobinOrder(t *testing.T) {
 	ma.mu.Unlock()
 	var order []int
 	for i := 0; i < 6; i++ {
-		ref, ok := ma.pickListener(80)
-		if !ok {
+		ref, st := ma.pickListener(80)
+		if st != ctlmsg.StatusOK {
 			t.Fatal("no listener")
 		}
 		order = append(order, ref.pid)
@@ -104,6 +104,59 @@ func TestMchanCarriesControlMessages(t *testing.T) {
 		mb.mu.Unlock()
 		if pending {
 			t.Error("refused connection left pending state")
+		}
+	})
+	s.Run()
+}
+
+// TestShardInboxShedsSYNsAtCap pins the routeRemote overload contract:
+// with MonInboxCap set and a shard's inbox already at the cap, an
+// arriving KMSyn is shed — counter bumped, KMRefused bounced, inbox NOT
+// grown — while every other kind (an in-flight protocol step whose loss
+// would wedge the peer) still appends past the cap. The overload drill
+// exercises this path only probabilistically (the router usually drains
+// faster than the fabric delivers), so the invariant is pinned here.
+func TestShardInboxShedsSYNsAtCap(t *testing.T) {
+	s, ma, mb, _, _ := newHostPair()
+	Peer(ma, mb)
+	defer SetMonInboxCap(SetMonInboxCap(1))
+	s.Spawn("t", func(ctx exec.Context) {
+		ma.mu.Lock()
+		mc := ma.mchans["b"]
+		ma.mu.Unlock()
+		if mc == nil {
+			t.Error("peer channel missing")
+			return
+		}
+		syn := &ctlmsg.Msg{Kind: ctlmsg.KMSyn, ConnID: 4242, Port: 80}
+		sh := ma.shardFor(syn)
+		// Pre-fill the shard's inbox to the cap with inert work (a
+		// heartbeat drains as a no-op if the shard loop gets to it).
+		ma.mu.Lock()
+		sh.inbox = append(sh.inbox, shardEvent{cm: ctlmsg.Msg{Kind: ctlmsg.KMHeartbeat}, mc: mc})
+		ma.mu.Unlock()
+		shed0 := sh.cInboxShed.Load()
+
+		ma.routeRemote(ctx, mc, syn)
+		ma.mu.Lock()
+		n := len(sh.inbox)
+		ma.mu.Unlock()
+		if got := sh.cInboxShed.Load() - shed0; got != 1 {
+			t.Errorf("inbox shed counter: got %d, want 1", got)
+		}
+		if n != 1 {
+			t.Errorf("SYN appended past the cap: inbox len %d, want 1", n)
+		}
+
+		// A non-SYN kind must still append — shedding it would wedge an
+		// in-flight handshake instead of refusing a retryable dial.
+		ack := &ctlmsg.Msg{Kind: ctlmsg.KMSynAck, ConnID: 4242, Port: 80}
+		ma.routeRemote(ctx, mc, ack)
+		ma.mu.Lock()
+		n = len(sh.inbox)
+		ma.mu.Unlock()
+		if n != 2 {
+			t.Errorf("non-SYN kind was shed at the cap: inbox len %d, want 2", n)
 		}
 	})
 	s.Run()

@@ -285,11 +285,19 @@ func (m *Monitor) acceptFallback(ctx exec.Context, port uint16, kl *ksocket.List
 	if err != nil {
 		return
 	}
-	ref, ok := m.pickListener(port)
-	if !ok {
+	ref, st := m.pickListener(port)
+	if st != ctlmsg.StatusOK {
+		// Backlog-full counts too: a refused kernel client sees the close
+		// as a reset and retries, same contract as the fast path.
 		sk.Close(ctx)
 		return
 	}
+	// Kernel-fallback connections carry no ConnID, so no KAcceptDone will
+	// ever release the admission slot; give it back immediately. The cap
+	// still gated this dispatch, it just doesn't track the fd's lifetime.
+	m.mu.Lock()
+	m.releaseBacklogSlotLocked(port, ref)
+	m.mu.Unlock()
 	p := m.H.Process(ref.pid)
 	if p == nil {
 		return

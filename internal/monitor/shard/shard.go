@@ -68,7 +68,8 @@ func ForMsg(m *ctlmsg.Msg, n int) int {
 		ctlmsg.KStealReq, ctlmsg.KStealRes:
 		return OfPort(m.Port, n)
 	case ctlmsg.KConnect, ctlmsg.KConnectRes, ctlmsg.KNewConn,
-		ctlmsg.KMSyn, ctlmsg.KMSynAck, ctlmsg.KMRefused:
+		ctlmsg.KMSyn, ctlmsg.KMSynAck, ctlmsg.KMRefused,
+		ctlmsg.KAcceptDone:
 		return Of(m.ConnID, n)
 	case ctlmsg.KTakeover, ctlmsg.KTokenReturn, ctlmsg.KTokenGrant,
 		ctlmsg.KReQP, ctlmsg.KReQPPeer, ctlmsg.KReQPRes,

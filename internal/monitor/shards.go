@@ -51,6 +51,13 @@ type mshard struct {
 	stealSeq   uint64
 	conns      map[uint64]*connRec // qid -> endpoints, for crash cleanup
 
+	// blUsed counts dispatched-but-not-yet-accepted connections per
+	// listener (the monitor-side backlog occupancy, lives on the port's
+	// shard like the listener table). When ListenerBacklogCap > 0,
+	// pickListener skips listeners at the cap and refuses the SYN with
+	// StatusBacklogFull once every listener for the port is full.
+	blUsed map[blKey]int
+
 	// inbox carries router-routed work: mchan arrivals owned by this
 	// shard, and host-death sweep events (one per shard per confirmed
 	// death, so each shard resets exactly its own connections).
@@ -62,8 +69,17 @@ type mshard struct {
 
 	thread exec.Thread
 
-	dDispatch *telemetry.Distribution // MonShardDispatch(idx)
-	cEvents   *telemetry.Counter      // MonShardEvents(idx)
+	dDispatch  *telemetry.Distribution // MonShardDispatch(idx)
+	cEvents    *telemetry.Counter      // MonShardEvents(idx)
+	cInboxShed *telemetry.Counter      // MonShardInboxShed(idx)
+}
+
+// blKey identifies one listener's backlog occupancy row: the port plus
+// the registered (pid, tid) of the listening thread.
+type blKey struct {
+	port uint16
+	pid  int
+	tid  int
 }
 
 // shardEvent is one unit of router->shard work. Exactly one of the two
@@ -88,8 +104,10 @@ func newShard(m *Monitor, idx int) *mshard {
 		sleepers:   make(map[int]map[int]struct{}),
 		steals:     make(map[uint64]stealReq),
 		conns:      make(map[uint64]*connRec),
+		blUsed:     make(map[blKey]int),
 		dDispatch:  telemetry.D(telemetry.MonShardDispatch(idx)),
 		cEvents:    telemetry.C(telemetry.MonShardEvents(idx)),
+		cInboxShed: telemetry.C(telemetry.MonShardInboxShed(idx)),
 	}
 }
 

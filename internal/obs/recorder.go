@@ -31,6 +31,7 @@ const (
 	TrigMonitorRestart                        // monitor came back in a new epoch
 	TrigSLOBreach                             // monitor dispatch exceeded the SLO
 	TrigManual                                // ForceDump from a soak driver or CLI
+	TrigOverloadShed                          // bounded queue shed work under overload
 )
 
 var trigNames = [...]string{
@@ -41,6 +42,7 @@ var trigNames = [...]string{
 	TrigMonitorRestart:  "monitor_restart",
 	TrigSLOBreach:       "slo_breach",
 	TrigManual:          "manual",
+	TrigOverloadShed:    "overload_shed",
 }
 
 // String returns the reason's stable lower-case name.

@@ -63,6 +63,11 @@ const (
 	CoreTCPFallbacks  = "sd/core/tcp_fallbacks"
 	CoreResets        = "sd/core/resets" // connection resets surfaced (ECONNRESET/EPIPE)
 
+	// overload robustness: deadline/nonblock shedding on the data plane.
+	CoreEWouldBlock      = "sd/core/ewouldblock"       // O_NONBLOCK ops that would have waited
+	CoreDeadlineTimeouts = "sd/core/deadline_timeouts" // send/recv deadline misses (ETIMEDOUT)
+	CoreConnRefused      = "sd/core/conn_refused"      // dials refused by a full backlog (ECONNREFUSED)
+
 	// monitor control plane.
 	MonCtlMsgs       = "sd/monitor/ctl_msgs" // plus /k<kind> suffixed per-kind counters
 	MonDispatches    = "sd/monitor/dispatches"
@@ -123,11 +128,13 @@ const (
 	KsockFDLockOps = "sd/ksocket/fd_lock_ops"
 
 	// buffer pool (internal/bufpool) — the allocation-free data path.
-	MemPoolGets        = "sd/mem/pool/gets"
-	MemPoolPuts        = "sd/mem/pool/puts"
-	MemPoolMisses      = "sd/mem/pool/misses"      // class pool empty: fresh allocation
-	MemPoolOversize    = "sd/mem/pool/oversize"    // above largest class: GC-owned
-	MemPoolOutstanding = "sd/mem/pool/outstanding" // gauge: buffers held (leak check)
+	MemPoolGets         = "sd/mem/pool/gets"
+	MemPoolPuts         = "sd/mem/pool/puts"
+	MemPoolMisses       = "sd/mem/pool/misses"        // class pool empty: fresh allocation
+	MemPoolOversize     = "sd/mem/pool/oversize"      // above largest class: GC-owned
+	MemPoolOutstanding  = "sd/mem/pool/outstanding"   // gauge: buffers held (leak check)
+	MemPoolQuotaRejects = "sd/mem/pool/quota_rejects" // admissions denied by the byte quota (ENOBUFS)
+	MemPoolQuotaBytes   = "sd/mem/pool/quota_bytes"   // gauge: bytes currently admitted against the quota
 
 	// fault injection + recovery.
 	FaultInjected         = "sd/fault/injected" // plus /<kind> suffixed per-kind counters
@@ -151,4 +158,13 @@ func MonShardDispatch(i int) string {
 // the monitor's router thread (mchan arrivals, host-death sweeps).
 func MonShardEvents(i int) string {
 	return MonShardPrefix + "/" + strconv.Itoa(i) + "/events"
+}
+
+// MonShardInboxShed names shard i's shed counter: routed events the
+// router refused to append because the shard's inbox was at its cap
+// (MonInboxCap). Sheddable kinds get a retry-after handback (KMSyn →
+// KMRefused) instead of unbounded queueing; this counter is how an
+// operator sees which shard is saturating.
+func MonShardInboxShed(i int) string {
+	return MonShardPrefix + "/" + strconv.Itoa(i) + "/inbox_shed"
 }

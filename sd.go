@@ -72,6 +72,17 @@ var (
 	ETIMEDOUT      = core.ETIMEDOUT
 	EAGAIN         = core.EAGAIN
 	EOF            = io.EOF
+	// Overload-control errnos (standalone — they do not wrap ErrMonitorDown
+	// or ErrPeerDead, because they describe local flow-control decisions,
+	// not failures):
+	//   EWOULDBLOCK  — O_NONBLOCK set and the operation would have parked.
+	//   ECONNREFUSED — every listener's backlog (or the monitor's shard
+	//                  inbox) was full, or nothing listens; retryable.
+	//   ENOBUFS      — the send-side buffer-pool byte quota is exhausted.
+	// Deadline expiry surfaces ETIMEDOUT, mirroring SO_SNDTIMEO/RCVTIMEO.
+	EWOULDBLOCK  = core.EWOULDBLOCK
+	ECONNREFUSED = core.ECONNREFUSED
+	ENOBUFS      = core.ENOBUFS
 )
 
 // Config selects the cluster's execution mode and cost calibration.
@@ -278,6 +289,15 @@ func (l *Listener) Accept() (*Conn, error) {
 // Pending reports queued connections on this thread's backlog.
 func (l *Listener) Pending() int { return l.l.Pending() }
 
+// SetDeadline bounds future Accept calls: past the absolute virtual time
+// `at` (ns), a blocked Accept returns ETIMEDOUT instead of parking
+// forever. 0 clears the deadline.
+func (l *Listener) SetDeadline(at int64) { l.l.SetDeadline(at) }
+
+// SetNonblock makes Accept return EWOULDBLOCK instead of blocking when
+// the backlog is empty (O_NONBLOCK for listeners).
+func (l *Listener) SetNonblock(on bool) { l.l.SetNonblock(on) }
+
 // Close unregisters the listener.
 func (l *Listener) Close() { l.l.Close(l.t.Ctx) }
 
@@ -303,8 +323,47 @@ func (t *T) Dial(hostName string, port uint16) (*Conn, error) {
 	return &Conn{t: t, sock: s, kf: kf}, nil
 }
 
+// DialDeadline is Dial with an absolute virtual-time bound (ns): if the
+// connection has not been admitted by `at`, it returns ETIMEDOUT and
+// abandons the attempt (pending state is reclaimed; a late grant is
+// ignored). 0 means no deadline — identical to Dial.
+func (t *T) DialDeadline(hostName string, port uint16, at int64) (*Conn, error) {
+	s, kf, err := t.Pr.Lib.ConnectDeadline(t.Ctx, t.Th, hostName, port, at)
+	if err != nil {
+		return nil, err
+	}
+	return &Conn{t: t, sock: s, kf: kf}, nil
+}
+
 // Fallback reports whether this connection runs over kernel TCP.
 func (c *Conn) Fallback() bool { return c.sock == nil }
+
+// SetSendDeadline bounds future send-side blocking (ring full, token
+// wait, zero-copy slot wait) by an absolute virtual time in ns: past it,
+// the blocked call returns ETIMEDOUT (SO_SNDTIMEO flavor). 0 clears it.
+// Kernel-fallback connections ignore deadlines (their blocking happens in
+// the simulated kernel, which models none).
+func (c *Conn) SetSendDeadline(at int64) {
+	if c.sock != nil {
+		c.sock.SetSendDeadline(at)
+	}
+}
+
+// SetRecvDeadline is SetSendDeadline for the receive side (SO_RCVTIMEO).
+func (c *Conn) SetRecvDeadline(at int64) {
+	if c.sock != nil {
+		c.sock.SetRecvDeadline(at)
+	}
+}
+
+// SetNonblock switches the socket to O_NONBLOCK: any data-plane call that
+// would park returns EWOULDBLOCK immediately. Pair with Epoll and
+// EPOLLOUT/EPOLLIN to learn when to retry.
+func (c *Conn) SetNonblock(on bool) {
+	if c.sock != nil {
+		c.sock.SetNonblock(on)
+	}
+}
 
 // FD returns the socket's descriptor in the libsd FD space (fallback
 // connections report -1; their number lives in the kernel table).
